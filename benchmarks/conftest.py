@@ -1,0 +1,37 @@
+"""Shared benchmark setup.
+
+Each benchmark regenerates one paper table or figure and prints it in the
+paper's form (rows/series).  Simulation runs are shared through one
+session-scoped :class:`EvaluationMatrix`, so e.g. Figure 10 reuses the runs
+Figure 9 paid for.
+
+Scale: benchmarks default to the scale in ``DEFAULT_SCALE`` (see
+DESIGN.md §4); set ``REPRO_BENCH_SCALE`` to change it (e.g. 1.0 for a
+full-size run — slow).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.figures import EvaluationMatrix
+from repro.experiments.runner import DEFAULT_SCALE
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def matrix() -> EvaluationMatrix:
+    """One shared run cache for all evaluation-section figures."""
+    return EvaluationMatrix(scale=BENCH_SCALE)
+
+
+def emit(text: str) -> None:
+    """Print a rendered figure with a separator (visible with -s)."""
+    print()
+    print(text)

@@ -1,0 +1,78 @@
+"""Ablation: over-provisioning sensitivity (substantiating a deviation note).
+
+EXPERIMENTS.md attributes our larger-than-paper latency improvements to
+the scaled drive's smaller *absolute* over-provisioning, which makes the
+baseline more GC-bound than the authors' 1TB testbed.  This ablation
+tests that explanation directly: sweep OP from 10% to 40% on mail and
+watch the baseline's GC pain — and therefore the DVP's latency win —
+shrink, while the write reduction stays put.
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import render_table
+from repro.core.dvp import MQDeadValuePool
+from repro.experiments.runner import prefill, scaled_pool_entries
+from repro.flash.config import scaled_config
+from repro.ftl.ftl import BaseFTL
+from repro.sim.metrics import percent_improvement
+from repro.sim.ssd import SimulatedSSD
+
+from .conftest import BENCH_SCALE, emit
+
+OP_LEVELS = (0.10, 0.15, 0.25, 0.40)
+
+
+def test_ablation_overprovisioning(benchmark, matrix):
+    context = matrix.context("mail")
+    profile = context.profile
+    entries = scaled_pool_entries(200_000, BENCH_SCALE)
+
+    def compute():
+        out = {}
+        for op in OP_LEVELS:
+            config = scaled_config(
+                int(profile.total_pages / profile.fill_fraction),
+                overprovision=op,
+            )
+            row = {}
+            for label, pool in (("baseline", None),
+                                ("mq-dvp", MQDeadValuePool(entries))):
+                ftl = BaseFTL(config, pool=pool,
+                              popularity_aware_gc=pool is not None)
+                prefill(ftl, profile)
+                row[label] = SimulatedSSD(ftl).run(context.trace).summary()
+            out[op] = row
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = []
+    for op, row in results.items():
+        base, dvp = row["baseline"], row["mq-dvp"]
+        rows.append((
+            f"{op:.0%}",
+            f"{base['erases']:.0f}",
+            f"{base['mean_latency_us']:.0f}",
+            f"{percent_improvement(base['flash_writes'], dvp['flash_writes']):.1f}",
+            f"{percent_improvement(base['mean_latency_us'], dvp['mean_latency_us']):.1f}",
+        ))
+    emit(render_table(
+        ["OP", "baseline erases", "baseline mean (us)",
+         "write reduction (%)", "latency improvement (%)"],
+        rows,
+        title="Ablation: over-provisioning on mail "
+              "(paper drive: 15% of 1TB = vast absolute slack)",
+    ))
+    # Write reduction is an OP-independent content property...
+    reductions = [
+        percent_improvement(
+            row["baseline"]["flash_writes"], row["mq-dvp"]["flash_writes"]
+        )
+        for row in results.values()
+    ]
+    assert max(reductions) - min(reductions) < 8.0
+    # ...while the baseline's GC pain falls monotonically with OP.
+    base_means = [
+        results[op]["baseline"]["mean_latency_us"] for op in OP_LEVELS
+    ]
+    assert base_means[0] > base_means[-1]

@@ -1,0 +1,49 @@
+"""Ablation: scale invariance of the headline result.
+
+The whole reproduction runs at a down-scaled operating point (DESIGN.md
+§4): trace length, footprint, drive and pool shrink together.  This
+ablation validates that methodology — the write-reduction percentages of
+the headline workloads must be stable across scales, otherwise nothing
+measured at scale 0.25 would say anything about scale 1.0.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.runner import ExperimentContext, run_system
+from repro.sim.metrics import percent_improvement
+
+from .conftest import emit
+
+SCALES = (0.1, 0.2, 0.4)
+WORKLOADS = ("mail", "web")
+
+
+def test_ablation_scale_invariance(benchmark):
+    def compute():
+        out = {}
+        for workload in WORKLOADS:
+            for scale in SCALES:
+                context = ExperimentContext.for_workload(workload, scale)
+                base = run_system("baseline", context, scale=scale)
+                dvp = run_system("mq-dvp", context, 200_000, scale=scale)
+                out[(workload, scale)] = percent_improvement(
+                    base.flash_writes, dvp.flash_writes
+                )
+        return out
+
+    results = benchmark.pedantic(compute, rounds=1, iterations=1)
+    rows = [
+        (workload, scale, f"{reduction:.1f}")
+        for (workload, scale), reduction in results.items()
+    ]
+    emit(render_table(
+        ["workload", "scale", "write reduction (%)"],
+        rows,
+        title="Ablation: scale invariance of the MQ-DVP write reduction",
+    ))
+    for workload in WORKLOADS:
+        values = [results[(workload, s)] for s in SCALES]
+        spread = max(values) - min(values)
+        assert spread < 6.0, (
+            f"{workload}: write reduction varies {spread:.1f} points "
+            f"across scales — the scaling methodology would be unsound"
+        )

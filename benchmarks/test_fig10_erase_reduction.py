@@ -1,0 +1,34 @@
+"""Figure 10: reduction in erase counts (200K pool + ideal).
+
+Paper: trend mirrors the write reduction of Figure 9; mean 35.5%, up to
+59.2% on mail.  Fewer erases = longer device lifetime.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.comparison import mean_improvement
+from repro.experiments.figures import fig10_erase_reduction
+
+from .conftest import emit
+
+
+def test_fig10_erase_reduction(benchmark, matrix):
+    results = benchmark.pedantic(
+        lambda: fig10_erase_reduction(matrix), rounds=1, iterations=1
+    )
+    rows = [
+        (wl, f"{row['200K']:.1f}", f"{row['ideal']:.1f}")
+        for wl, row in results.items()
+    ]
+    mean_200k = mean_improvement({w: r["200K"] for w, r in results.items()})
+    emit(render_table(
+        ["workload", "200K (%)", "ideal (%)"], rows,
+        title=(
+            "Figure 10: erase-count reduction vs baseline "
+            f"(mean: {mean_200k:.1f}%; paper: 35.5%, max 59.2% on mail)"
+        ),
+    ))
+    # Shape: mail gains most; erase trend follows the write trend.
+    assert results["mail"]["200K"] == max(r["200K"] for r in results.values())
+    assert mean_200k > 10.0
+    for row in results.values():
+        assert row["200K"] >= -5.0  # never meaningfully worse than baseline

@@ -1,0 +1,35 @@
+"""Table I: main characteristics of the modeled SSD."""
+
+from repro.analysis.report import render_table
+from repro.experiments.figures import table1_configuration
+from repro.experiments.runner import config_for_profile
+from repro.traces.profiles import profile_by_name
+
+from .conftest import emit
+
+
+def test_table1_configuration(benchmark, scale):
+    config = benchmark.pedantic(table1_configuration, rounds=1, iterations=1)
+    scaled = config_for_profile(profile_by_name("mail").scaled(scale))
+    rows = [
+        ("channels x chips", f"{config.channels}x{config.chips_per_channel}",
+         f"{scaled.channels}x{scaled.chips_per_channel}"),
+        ("dies/chip", config.dies_per_chip, scaled.dies_per_chip),
+        ("planes/die", config.planes_per_die, scaled.planes_per_die),
+        ("pages/block", config.pages_per_block, scaled.pages_per_block),
+        ("page size (B)", config.page_size, scaled.page_size),
+        ("raw capacity (GB)",
+         config.raw_capacity_bytes / 2**30, scaled.raw_capacity_bytes / 2**30),
+        ("over-provisioning", config.overprovision, scaled.overprovision),
+        ("read latency (us)", config.timing.read_us, scaled.timing.read_us),
+        ("program latency (us)",
+         config.timing.program_us, scaled.timing.program_us),
+        ("erase latency (us)", config.timing.erase_us, scaled.timing.erase_us),
+        ("hashing latency (us)", config.timing.hash_us, scaled.timing.hash_us),
+    ]
+    emit(render_table(
+        ["parameter", "paper (Table I)", f"scaled (x{scale})"], rows,
+        title="Table I: modeled SSD characteristics",
+    ))
+    assert config.raw_capacity_bytes == 1 << 40  # exactly 1TB raw
+    assert scaled.timing == config.timing        # same flash timing

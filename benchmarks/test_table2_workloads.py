@@ -1,0 +1,38 @@
+"""Table II: workload characteristics — published vs synthetic audit."""
+
+from repro.analysis.report import render_table
+from repro.experiments.figures import table2_workloads
+
+from .conftest import emit
+
+
+def test_table2_workloads(benchmark, scale):
+    results = benchmark.pedantic(
+        lambda: table2_workloads(scale), rounds=1, iterations=1
+    )
+    rows = []
+    for name, (audit, targets) in results.items():
+        rows.append((
+            name,
+            f"{targets.write_ratio * 100:.0f}",
+            f"{audit.write_ratio * 100:.1f}",
+            f"{targets.unique_write_frac * 100:.1f}",
+            f"{audit.unique_write_frac * 100:.1f}",
+            f"{targets.unique_read_frac * 100:.1f}",
+            f"{audit.unique_read_frac * 100:.1f}",
+        ))
+    emit(render_table(
+        ["trace", "WR% paper", "WR% ours",
+         "uniqW% paper", "uniqW% ours", "uniqR% paper", "uniqR% ours"],
+        rows,
+        title="Table II: workload characteristics (paper vs synthetic)",
+    ))
+    for name, (audit, targets) in results.items():
+        assert abs(audit.write_ratio - targets.write_ratio) < 0.03, name
+        assert abs(audit.unique_write_frac - targets.unique_write_frac) < 0.1, name
+    # mail must remain by far the most write-redundant workload
+    mail = results["mail"][0].unique_write_frac
+    assert all(
+        mail < audit.unique_write_frac
+        for name, (audit, _) in results.items() if name != "mail"
+    )

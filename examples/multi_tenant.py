@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Multi-tenant hosting: cross-tenant content and the dead-value pool.
+
+Builds a consolidated workload from three VM-like tenants using the trace
+transforms (private LPN ranges, merged arrivals) in two variants:
+
+* **isolated content** — each tenant's values live in a private namespace
+  (no 4KB chunk ever repeats across tenants);
+* **shared content** — tenants run the same base image, so identical
+  chunks recur across tenants (the realistic VM-hosting case).
+
+Then replays both through baseline / dedup / MQ-DVP.  With shared content
+the pool revives one tenant's garbage to serve another tenant's write —
+value locality compounds across tenants, exactly the paper's SPAM-email
+observation at datacenter scale.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis.report import render_table
+from repro.experiments.runner import prefill, scaled_pool_entries
+from repro.flash.config import scaled_config
+from repro.ftl.dvp_ftl import build_system
+from repro.sim.ssd import SimulatedSSD
+from repro.traces.profiles import profile_by_name
+from repro.traces.synthetic import generate_trace
+from repro.traces.transforms import interleave_tenants, scale_time
+
+TENANTS = 3
+SCALE = 0.05
+
+
+def tenant_trace(index):
+    """Each tenant is a reseeded small web-server workload."""
+    profile = replace(
+        profile_by_name("web").scaled(SCALE),
+        seed=1000 + index,
+        cold_region_factor=1.0,   # keep tenants compact
+    )
+    return profile, generate_trace(profile)
+
+
+def main():
+    profiles, traces = zip(*(tenant_trace(i) for i in range(TENANTS)))
+    pages_per_tenant = max(p.total_pages for p in profiles)
+    total_pages = pages_per_tenant * TENANTS
+    # generous slack: at this tiny scale absolute OP is only a few
+    # hundred pages, so give the consolidated drive extra headroom
+    config = scaled_config(int(total_pages / 0.6))
+    entries = scaled_pool_entries(200_000, SCALE) * TENANTS
+    print(f"{TENANTS} tenants x {len(traces[0])} requests, "
+          f"{total_pages} logical pages\n")
+
+    rows = []
+    for shared in (False, True):
+        # Merging triples the arrival rate; stretch time back so the
+        # consolidated device sees a sustainable per-tenant load.
+        combined = list(scale_time(
+            interleave_tenants(traces, pages_per_tenant,
+                               share_values=shared),
+            float(TENANTS),
+        ))
+        for system in ("baseline", "dedup", "mq-dvp"):
+            ftl = build_system(system, config, entries)
+            # precondition every tenant's range with unique content
+            for lpn in range(total_pages):
+                from repro.core.hashing import fingerprint_of_value
+                from repro.traces.synthetic import initial_value_of
+
+                ftl.write(lpn, fingerprint_of_value(initial_value_of(lpn)))
+            from repro.ftl.ftl import FTLCounters
+
+            ftl.counters = FTLCounters()
+            if ftl.pool is not None:
+                from repro.core.dvp import PoolStats
+
+                ftl.pool.stats = PoolStats()
+            result = SimulatedSSD(ftl).run(combined)
+            rows.append((
+                "shared" if shared else "isolated",
+                system,
+                f"{result.flash_writes}",
+                f"{result.counters.short_circuits}",
+                f"{result.counters.dedup_hits}",
+                f"{result.mean_latency_us:.1f}",
+            ))
+    print(render_table(
+        ["content", "system", "flash writes", "revivals", "dedup hits",
+         "mean latency (us)"],
+        rows,
+        title="Consolidated workload, isolated vs shared tenant content:",
+    ))
+    print("\n-> with shared base-image content, both dedup and the"
+          "\n   dead-value pool find cross-tenant redundancy the isolated"
+          "\n   variant cannot, cutting flash writes further.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Scheduler showdown: can smarter scheduling replace garbage revival?
+
+Runs the mail workload through the *event-driven* device model under four
+configurations — FIFO vs read-priority chip scheduling, each with and
+without the MQ dead-value pool — plus a background-GC baseline, and prints
+latency, write traffic and chip-utilisation statistics for each.
+
+The point: read-priority scheduling attacks the *symptom* (requests stuck
+behind programs/erases), while the dead-value pool removes the *cause*
+(the writes themselves) — and only the pool also buys back erases, i.e.
+device lifetime.  Background GC is shown too: under sustained load it can
+even backfire (it does extra collection that collides with arrivals),
+whereas it shines when real idle time exists (see
+benchmarks/test_ablation_background_gc.py at the default scale).
+
+Run:  python examples/scheduler_showdown.py
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.utilization import utilisation_report
+from repro.core.dvp import MQDeadValuePool
+from repro.experiments.runner import (
+    ExperimentContext,
+    prefill,
+    scaled_pool_entries,
+)
+from repro.ftl.ftl import BaseFTL
+from repro.sim.background import BackgroundGCSSD
+from repro.sim.des_ssd import EventDrivenSSD
+
+SCALE = 0.1
+WORKLOAD = "mail"
+
+
+def build_ftl(context, with_pool):
+    if with_pool:
+        entries = scaled_pool_entries(200_000, SCALE)
+        return BaseFTL(
+            context.config, pool=MQDeadValuePool(entries),
+            popularity_aware_gc=True,
+        )
+    return BaseFTL(context.config)
+
+
+def main():
+    context = ExperimentContext.for_workload(WORKLOAD, SCALE)
+    print(f"workload: {WORKLOAD} at scale {SCALE} "
+          f"({len(context.trace)} requests)\n")
+
+    configurations = [
+        ("fifo / baseline", "fifo", False, False),
+        ("read-prio / baseline", "read-priority", False, False),
+        ("bg-gc / baseline", "fifo", False, True),
+        ("fifo / mq-dvp", "fifo", True, False),
+        ("read-prio / mq-dvp", "read-priority", True, False),
+    ]
+    rows = []
+    for label, policy, with_pool, background in configurations:
+        ftl = build_ftl(context, with_pool)
+        prefill(ftl, context.profile)
+        if background:
+            device = BackgroundGCSSD(ftl, background_watermark=5)
+            result = device.run(context.trace)
+        else:
+            device = EventDrivenSSD(ftl, chip_policy=policy)
+            result = device.run(context.trace)
+        usage = utilisation_report(device)
+        rows.append((
+            label,
+            f"{result.reads.mean:.0f}",
+            f"{result.writes.mean:.0f}",
+            f"{result.flash_writes}",
+            f"{result.erases}",
+            f"{usage.mean_chip_utilisation:.2f}",
+        ))
+    print(render_table(
+        ["configuration", "read mean (us)", "write mean (us)",
+         "flash writes", "erases", "chip util"],
+        rows,
+        title="Scheduling vs revival (event-driven model unless bg-gc):",
+    ))
+    print("\n-> read-priority fixes read queueing but leaves write traffic"
+          "\n   and wear untouched; background GC trades foreground stalls"
+          "\n   for extra erases (and backfires under sustained load); the"
+          "\n   dead-value pool removes the writes themselves and still"
+          "\n   composes with better scheduling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,333 @@
+"""Section II characterisation: the trace analyses behind Figures 1–6.
+
+These functions replay a trace against the idealised logical store of
+:class:`~repro.core.lifecycle.LifecycleTracker` (no flash, no timing — the
+paper does the same: "these studies are done by analyzing the traces") and
+reduce the per-value statistics to exactly the series the paper plots:
+
+* :func:`reuse_opportunity` — Figure 1: probability an incoming write can
+  be serviced from garbage, with an infinite buffer, before and after
+  deduplication;
+* :func:`invalidation_cdf` — Figure 2: CDF of per-value invalidation
+  counts and the fraction of values still live at the end;
+* :func:`value_cdfs` — Figure 3: cumulative shares of writes,
+  invalidations and rebirths over values sorted by write count;
+* :func:`lifecycle_intervals` — Figure 4: creation→death and
+  death→rebirth distances (in writes) and rebirth counts, by popularity;
+* :func:`pool_write_study` / :func:`lru_pool_sweep` — Figure 5: writes
+  surviving an LRU dead-value pool of varying capacity vs the infinite
+  pool;
+* :func:`lru_miss_breakdown` — Figure 6: average pool misses per value
+  popularity degree, where a *miss* is a write the infinite pool would
+  have short-circuited but the bounded pool could not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.dvp import DeadValuePool, LRUDeadValuePool
+from ..core.hashing import Fingerprint
+from ..core.lifecycle import LifecycleTracker
+from ..sim.request import IORequest, OpType
+from .cdf import bucket_means, empirical_cdf
+
+__all__ = [
+    "run_lifecycle",
+    "ReuseOpportunity",
+    "reuse_opportunity",
+    "InvalidationCDF",
+    "invalidation_cdf",
+    "ValueCDFs",
+    "value_cdfs",
+    "LifecycleIntervals",
+    "lifecycle_intervals",
+    "PoolStudyResult",
+    "pool_write_study",
+    "lru_pool_sweep",
+    "lru_miss_breakdown",
+]
+
+
+def run_lifecycle(
+    trace: Iterable[IORequest], dedup: bool = False
+) -> LifecycleTracker:
+    """Replay a trace through the idealised lifecycle model."""
+    tracker = LifecycleTracker(dedup=dedup)
+    for request in trace:
+        if request.op is OpType.WRITE:
+            tracker.on_write(request.lpn, request.value_id)
+        else:
+            tracker.on_read(request.lpn, request.value_id)
+    return tracker
+
+
+# ----------------------------------------------------------------------
+# Figure 1
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReuseOpportunity:
+    """P(incoming write reusable from garbage), infinite buffer."""
+
+    workload: str
+    without_dedup: float
+    with_dedup: float
+
+
+def reuse_opportunity(
+    trace: Sequence[IORequest], workload: str = ""
+) -> ReuseOpportunity:
+    """Figure 1 for one trace(-day): reuse probability w/ and w/o dedup."""
+    plain = run_lifecycle(trace, dedup=False)
+    deduped = run_lifecycle(trace, dedup=True)
+    return ReuseOpportunity(
+        workload=workload,
+        without_dedup=plain.reuse_probability(),
+        with_dedup=deduped.reuse_probability(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InvalidationCDF:
+    """CDF of invalidation counts plus the live-value fraction."""
+
+    cdf: List[Tuple[int, float]]
+    never_invalidated_frac: float  # values with 0 invalidations
+    live_value_frac: float         # values still live at end of trace
+
+
+def invalidation_cdf(tracker: LifecycleTracker) -> InvalidationCDF:
+    counts = [v.invalidations for v in tracker.iter_value_stats()]
+    cdf = empirical_cdf(counts)
+    total = len(counts)
+    never = sum(1 for c in counts if c == 0) / total if total else 0.0
+    live = tracker.live_value_count() / total if total else 0.0
+    return InvalidationCDF(
+        cdf=cdf, never_invalidated_frac=never, live_value_frac=live
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ValueCDFs:
+    """Cumulative shares over values sorted by write count (descending).
+
+    Each series maps a value-fraction x (0..1] to the fraction of the
+    metric's total mass carried by the top x of values — the form in which
+    Figure 3 shows "20% of values account for 80% of writes".
+    """
+
+    fractions: List[float]
+    write_share: List[float]
+    invalidation_share: List[float]
+    rebirth_share: List[float]
+
+    def share_at(self, series: str, fraction: float) -> float:
+        data = getattr(self, f"{series}_share")
+        for f, s in zip(self.fractions, data):
+            if f >= fraction:
+                return s
+        return data[-1] if data else 0.0
+
+
+def value_cdfs(
+    tracker: LifecycleTracker, points: int = 50
+) -> ValueCDFs:
+    stats = sorted(
+        tracker.iter_value_stats(), key=lambda v: v.writes, reverse=True
+    )
+    if not stats:
+        return ValueCDFs([], [], [], [])
+    writes = [v.writes for v in stats]
+    invalidations = [v.invalidations for v in stats]
+    rebirths = [v.rebirths for v in stats]
+
+    def shares(series: List[int]) -> Tuple[List[float], List[float]]:
+        total = sum(series) or 1
+        fractions: List[float] = []
+        cumshare: List[float] = []
+        running = 0
+        n = len(series)
+        step = max(1, n // points)
+        for i, value in enumerate(series, start=1):
+            running += value
+            if i % step == 0 or i == n:
+                fractions.append(i / n)
+                cumshare.append(running / total)
+        return fractions, cumshare
+
+    fractions, write_share = shares(writes)
+    _, invalidation_share = shares(invalidations)
+    _, rebirth_share = shares(rebirths)
+    return ValueCDFs(
+        fractions=fractions,
+        write_share=write_share,
+        invalidation_share=invalidation_share,
+        rebirth_share=rebirth_share,
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 4
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LifecycleIntervals:
+    """Per-popularity-degree means of the life-cycle timing metrics."""
+
+    creation_to_death: Dict[int, float]   # Figure 4a
+    death_to_rebirth: Dict[int, float]    # Figure 4b
+    rebirth_counts: Dict[int, float]      # Figure 4c
+
+
+def lifecycle_intervals(
+    tracker: LifecycleTracker, num_buckets: int = 20
+) -> LifecycleIntervals:
+    c2d: List[Tuple[int, float]] = []
+    d2r: List[Tuple[int, float]] = []
+    rebirths: List[Tuple[int, float]] = []
+    for stats in tracker.iter_value_stats():
+        degree = stats.writes
+        mean_c2d = stats.mean_creation_to_death
+        if mean_c2d is not None:
+            c2d.append((degree, mean_c2d))
+        mean_d2r = stats.mean_death_to_rebirth
+        if mean_d2r is not None:
+            d2r.append((degree, mean_d2r))
+        rebirths.append((degree, float(stats.rebirths)))
+    return LifecycleIntervals(
+        creation_to_death=bucket_means(c2d, num_buckets),
+        death_to_rebirth=bucket_means(d2r, num_buckets),
+        rebirth_counts=bucket_means(rebirths, num_buckets),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 5 and 6: bounded-pool replays (no flash, trace-analysis only)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PoolStudyResult:
+    """Outcome of replaying a trace's writes through one dead-value pool."""
+
+    workload: str
+    pool_label: str
+    total_writes: int = 0
+    short_circuited: int = 0
+    #: writes the infinite pool would also have had to program
+    compulsory_programs: int = 0
+    #: per-value capacity misses (write reusable ideally, missed here)
+    capacity_misses_by_value: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def serviced_writes(self) -> int:
+        """Writes that still had to be programmed (Figure 5's y-axis)."""
+        return self.total_writes - self.short_circuited
+
+    @property
+    def capacity_miss_total(self) -> int:
+        return sum(self.capacity_misses_by_value.values())
+
+
+def pool_write_study(
+    trace: Iterable[IORequest],
+    pool: DeadValuePool,
+    workload: str = "",
+    pool_label: str = "",
+) -> PoolStudyResult:
+    """Replay a trace's writes through ``pool``, counting short-circuits.
+
+    Mirrors the paper's Section III-A methodology: pure trace analysis with
+    an idealised logical store.  Alongside the bounded pool we keep the
+    infinite-pool accounting (per-value dead-copy counts), so every lookup
+    can be classified as hit, *capacity miss* (the ideal pool had a dead
+    copy — Figure 6's misses) or compulsory program.
+    """
+    result = PoolStudyResult(workload=workload, pool_label=pool_label)
+    content: Dict[int, int] = {}
+    ideal_dead: Dict[int, int] = {}
+    next_token = 0  # stands in for a PPN
+    write_clock = 0
+    for request in trace:
+        if request.op is not OpType.WRITE:
+            continue
+        write_clock += 1
+        result.total_writes += 1
+        lpn, value_id = request.lpn, request.value_id
+        old = content.get(lpn)
+        if old is not None:
+            ideal_dead[old] = ideal_dead.get(old, 0) + 1
+            pool.insert_garbage(
+                Fingerprint(old), next_token, write_clock, lpn=lpn
+            )
+            next_token += 1
+        content[lpn] = value_id
+        hit = pool.lookup_for_write(Fingerprint(value_id), write_clock)
+        ideally_reusable = ideal_dead.get(value_id, 0) > 0
+        if ideally_reusable:
+            ideal_dead[value_id] -= 1
+        if hit is not None:
+            result.short_circuited += 1
+        elif ideally_reusable:
+            misses = result.capacity_misses_by_value
+            misses[value_id] = misses.get(value_id, 0) + 1
+        else:
+            result.compulsory_programs += 1
+    return result
+
+
+def lru_pool_sweep(
+    trace: Sequence[IORequest],
+    sizes: Sequence[int],
+    workload: str = "",
+) -> Dict[str, PoolStudyResult]:
+    """Figure 5: serviced writes for LRU pools of several sizes + infinite."""
+    from ..core.dvp import InfiniteDeadValuePool
+
+    results: Dict[str, PoolStudyResult] = {}
+    for size in sizes:
+        label = f"lru-{size}"
+        results[label] = pool_write_study(
+            trace, LRUDeadValuePool(size), workload, label
+        )
+    results["infinite"] = pool_write_study(
+        trace, InfiniteDeadValuePool(), workload, "infinite"
+    )
+    return results
+
+
+def lru_miss_breakdown(
+    trace: Sequence[IORequest],
+    pool_size: int,
+    num_buckets: int = 20,
+    workload: str = "",
+) -> Dict[int, float]:
+    """Figure 6: average capacity misses per value-popularity degree."""
+    study = pool_write_study(
+        trace, LRUDeadValuePool(pool_size), workload, f"lru-{pool_size}"
+    )
+    write_counts: Dict[int, int] = {}
+    for request in trace:
+        if request.op is OpType.WRITE:
+            write_counts[request.value_id] = (
+                write_counts.get(request.value_id, 0) + 1
+            )
+    samples: List[Tuple[int, float]] = []
+    for value_id, degree in write_counts.items():
+        misses = study.capacity_misses_by_value.get(value_id, 0)
+        samples.append((degree, float(misses)))
+    return bucket_means(samples, num_buckets)

@@ -1,0 +1,144 @@
+"""Latency-distribution analysis over completion logs.
+
+Extends the paper's mean/p99 reporting (Figures 11/12) with the tools a
+storage evaluation normally wants: full empirical latency CDFs, arbitrary
+percentile sets, and detection of the *GC stall episodes* the paper
+describes as "frequent short episodes of high latencies during the
+operation time" (Section VI-B) — consecutive requests whose latency
+exceeds a threshold, grouped into episodes with start time, length and
+peak.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.logging import CompletionLog
+from ..sim.request import OpType
+
+__all__ = [
+    "latency_percentiles",
+    "latency_cdf",
+    "StallEpisode",
+    "find_stall_episodes",
+    "stall_summary",
+]
+
+
+def latency_percentiles(
+    log: CompletionLog,
+    percentiles: Sequence[float] = (50, 90, 95, 99, 99.9),
+    op: Optional[OpType] = None,
+) -> Dict[float, float]:
+    """Exact (nearest-rank) percentiles of the logged latencies."""
+    values = sorted(log.latencies(op=op))
+    if not values:
+        return {p: 0.0 for p in percentiles}
+    out = {}
+    for p in percentiles:
+        if not 0 < p <= 100:
+            raise ValueError(f"percentile {p} out of range")
+        rank = max(1, math.ceil(p / 100.0 * len(values)))
+        out[p] = values[rank - 1]
+    return out
+
+
+def latency_cdf(
+    log: CompletionLog,
+    points: int = 50,
+    op: Optional[OpType] = None,
+) -> List[Tuple[float, float]]:
+    """An evenly-sampled empirical CDF: ``[(latency_us, P(X <= l)), ...]``."""
+    if points <= 0:
+        raise ValueError("points must be positive")
+    values = sorted(log.latencies(op=op))
+    if not values:
+        return []
+    n = len(values)
+    out = []
+    step = max(1, n // points)
+    for i in range(step - 1, n, step):
+        out.append((values[i], (i + 1) / n))
+    if out[-1][1] != 1.0:
+        out.append((values[-1], 1.0))
+    return out
+
+
+@dataclass(frozen=True)
+class StallEpisode:
+    """A run of consecutive slow requests (a GC-induced latency spike)."""
+
+    start_us: float
+    end_us: float
+    request_count: int
+    peak_latency_us: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.end_us - self.start_us
+
+
+def find_stall_episodes(
+    log: CompletionLog,
+    threshold_us: float,
+    min_requests: int = 1,
+) -> List[StallEpisode]:
+    """Group consecutive over-threshold requests into episodes.
+
+    Requests are taken in arrival order; an episode ends at the first
+    request back under the threshold.  Episodes shorter than
+    ``min_requests`` are dropped.
+    """
+    if threshold_us <= 0:
+        raise ValueError("threshold_us must be positive")
+    episodes: List[StallEpisode] = []
+    run: List = []
+    for record in log:
+        if record.latency_us >= threshold_us:
+            run.append(record)
+            continue
+        if len(run) >= min_requests:
+            episodes.append(_episode_of(run))
+        run = []
+    if len(run) >= min_requests:
+        episodes.append(_episode_of(run))
+    return episodes
+
+
+def _episode_of(run: List) -> StallEpisode:
+    return StallEpisode(
+        start_us=run[0].arrival_us,
+        end_us=max(r.finish_us for r in run),
+        request_count=len(run),
+        peak_latency_us=max(r.latency_us for r in run),
+    )
+
+
+def stall_summary(
+    log: CompletionLog, threshold_us: float
+) -> Dict[str, float]:
+    """Aggregate stall statistics: how often, how long, how bad.
+
+    This is the quantified version of the paper's "performance consistency
+    and predictability" argument: DVP should shrink both the number and
+    the depth of the episodes.
+    """
+    episodes = find_stall_episodes(log, threshold_us)
+    if not episodes:
+        return {
+            "episodes": 0.0,
+            "stalled_requests": 0.0,
+            "stalled_fraction": 0.0,
+            "mean_duration_us": 0.0,
+            "worst_peak_us": 0.0,
+        }
+    stalled = sum(e.request_count for e in episodes)
+    return {
+        "episodes": float(len(episodes)),
+        "stalled_requests": float(stalled),
+        "stalled_fraction": stalled / max(1, len(log)),
+        "mean_duration_us": sum(e.duration_us for e in episodes) / len(episodes),
+        "worst_peak_us": max(e.peak_latency_us for e in episodes),
+    }

@@ -1,0 +1,80 @@
+"""Plain-text rendering of tables and figure series.
+
+The benchmark harness regenerates every paper table and figure as text:
+tables as aligned columns, figures as labelled series (and small ASCII bar
+charts for the bar-figure style the paper uses).  Keeping rendering here
+lets benchmarks stay one-call thin and makes the output uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+__all__ = ["render_table", "render_series", "render_bars"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Aligned fixed-width table; floats rendered with 2 decimals."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Mapping[str, Sequence[Tuple[object, float]]],
+    title: str = "",
+    y_format: str = "{:.3f}",
+) -> str:
+    """Labelled (x, y) series, one block per label — the figure-as-text form."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, points in series.items():
+        lines.append(f"[{label}]")
+        for x, y in points:
+            lines.append(f"  {x}: " + y_format.format(y))
+    return "\n".join(lines)
+
+
+def render_bars(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 40,
+    y_format: str = "{:6.1f}",
+) -> str:
+    """A horizontal ASCII bar chart (the paper's bar figures, textually)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not values:
+        return "\n".join(lines)
+    label_width = max(len(k) for k in values)
+    peak = max(abs(v) for v in values.values()) or 1.0
+    for label, value in values.items():
+        bar = "#" * max(0, int(round(width * abs(value) / peak)))
+        lines.append(
+            f"{label.ljust(label_width)}  "
+            + y_format.format(value)
+            + f"  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,259 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+
+``run``
+    Simulate one system on one workload and print the result summary.
+``compare``
+    Run several systems on one workload; print a comparison table
+    normalised to the first system.
+``figure``
+    Regenerate one paper figure/table by id (fig01..fig15, table1,
+    table2) and print it.
+``characterize``
+    The Section II analysis bundle for one workload.
+``replicate``
+    Multi-seed improvement statistics for one system/metric.
+
+All output goes to stdout; ``--json`` switches machine-readable output
+where applicable.  Exit code 0 on success, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.characterize import (
+    invalidation_cdf,
+    reuse_opportunity,
+    run_lifecycle,
+    value_cdfs,
+)
+from .analysis.report import render_table
+from .experiments import figures as figures_mod
+from .experiments.figures import EvaluationMatrix
+from .experiments.replication import paired_improvement
+from .experiments.runner import DEFAULT_SCALE, ExperimentContext, run_system
+from .ftl.dvp_ftl import SYSTEMS
+from .traces.profiles import PROFILES
+from .traces.synthetic import generate_trace
+
+__all__ = ["main", "build_parser"]
+
+#: figure id → (callable, needs_matrix)
+FIGURES = {
+    "fig01": (figures_mod.fig01_reuse_opportunity, False),
+    "fig02": (figures_mod.fig02_invalidation_cdf, False),
+    "fig03": (figures_mod.fig03_value_cdfs, False),
+    "fig04": (figures_mod.fig04_lifecycle, False),
+    "fig05": (figures_mod.fig05_lru_sweep, False),
+    "fig06": (figures_mod.fig06_lru_misses, False),
+    "table1": (lambda scale: figures_mod.table1_configuration(), False),
+    "table2": (figures_mod.table2_workloads, False),
+    "fig09": (figures_mod.fig09_write_reduction, True),
+    "fig10": (figures_mod.fig10_erase_reduction, True),
+    "fig11": (figures_mod.fig11_mean_latency, True),
+    "fig12": (figures_mod.fig12_tail_latency, True),
+    "fig14": (figures_mod.fig14_dedup_writes, True),
+    "fig15": (figures_mod.fig15_dedup_latency, True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reviving Zombie Pages on SSDs — reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                       help=f"workload scale (default {DEFAULT_SCALE})")
+
+    run_p = sub.add_parser("run", help="simulate one system on one workload")
+    run_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
+    run_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+    run_p.add_argument("--pool", type=int, default=200_000,
+                       help="pool size in paper-label entries (default 200K)")
+    run_p.add_argument("--json", action="store_true")
+    add_common(run_p)
+
+    cmp_p = sub.add_parser("compare", help="compare systems on one workload")
+    cmp_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
+    cmp_p.add_argument(
+        "--systems", default="baseline,mq-dvp,dedup,dvp+dedup",
+        help="comma-separated system names (first is the reference)",
+    )
+    cmp_p.add_argument("--pool", type=int, default=200_000)
+    add_common(cmp_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate one paper artifact")
+    fig_p.add_argument("id", choices=sorted(FIGURES))
+    add_common(fig_p)
+
+    chr_p = sub.add_parser(
+        "characterize", help="Section II analysis for one workload"
+    )
+    chr_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
+    add_common(chr_p)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate every artifact into one document"
+    )
+    report_p.add_argument("--out", default=None,
+                          help="write to this file instead of stdout")
+    add_common(report_p)
+
+    rep_p = sub.add_parser(
+        "replicate", help="multi-seed improvement statistics"
+    )
+    rep_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
+    rep_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+    rep_p.add_argument("--metric", default="flash_writes")
+    rep_p.add_argument("--seeds", default="1,2,3",
+                       help="comma-separated seeds")
+    add_common(rep_p)
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    context = ExperimentContext.for_workload(args.workload, args.scale)
+    result = run_system(args.system, context, args.pool, args.scale)
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [(k, v) for k, v in sorted(summary.items())]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"{args.system} on {args.workload} (scale {args.scale})",
+        ))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in systems if s not in SYSTEMS]
+    if unknown:
+        print(f"unknown systems: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    context = ExperimentContext.for_workload(args.workload, args.scale)
+    rows = []
+    reference = None
+    for system in systems:
+        summary = run_system(system, context, args.pool, args.scale).summary()
+        if reference is None:
+            reference = summary
+        rows.append((
+            system,
+            f"{summary['flash_writes']:.0f}",
+            f"{summary['erases']:.0f}",
+            f"{summary['mean_latency_us']:.1f}",
+            f"{100 * (1 - summary['mean_latency_us'] / reference['mean_latency_us']):.1f}"
+            if reference["mean_latency_us"] else "0.0",
+        ))
+    print(render_table(
+        ["system", "flash writes", "erases", "mean latency (us)",
+         f"latency cut vs {systems[0]} (%)"],
+        rows, title=f"{args.workload} at scale {args.scale}",
+    ))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    func, needs_matrix = FIGURES[args.id]
+    if needs_matrix:
+        result = func(EvaluationMatrix(scale=args.scale))
+    else:
+        result = func(args.scale)
+    print(f"[{args.id}]")
+    _print_result(result)
+    return 0
+
+
+def _print_result(result: object) -> None:
+    """Best-effort generic rendering of a figure function's return value."""
+    if isinstance(result, dict):
+        for key, value in result.items():
+            print(f"{key}: {value}")
+    elif isinstance(result, list):
+        for item in result:
+            print(item)
+    else:
+        print(result)
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    profile = PROFILES[args.workload].scaled(args.scale)
+    trace = generate_trace(profile)
+    tracker = run_lifecycle(trace)
+    reuse = reuse_opportunity(trace, profile.name)
+    inval = invalidation_cdf(tracker)
+    cdfs = value_cdfs(tracker)
+    rows = [
+        ("requests", len(trace)),
+        ("writes", tracker.stats.total_writes),
+        ("unique values written", tracker.unique_value_count()),
+        ("deaths", tracker.stats.deaths),
+        ("rebirths", tracker.stats.rebirths),
+        ("P(reuse), infinite buffer", f"{reuse.without_dedup:.3f}"),
+        ("P(reuse) after dedup", f"{reuse.with_dedup:.3f}"),
+        ("values never invalidated", f"{inval.never_invalidated_frac:.3f}"),
+        ("values live at end", f"{inval.live_value_frac:.3f}"),
+        ("write share of top 20% values", f"{cdfs.share_at('write', 0.2):.3f}"),
+        ("rebirth share of top 20% values",
+         f"{cdfs.share_at('rebirth', 0.2):.3f}"),
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"Section II characterisation: {args.workload} "
+              f"(scale {args.scale})",
+    ))
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    reps = paired_improvement(
+        args.workload, args.system, args.metric, seeds, args.scale,
+    )
+    print(f"{args.system} vs baseline on {args.workload}, "
+          f"{args.metric} improvement: {reps.summary()}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.report import generate_report
+
+    text = generate_report(args.scale)
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+COMMANDS = {
+    "run": _cmd_run,
+    "report": _cmd_report,
+    "compare": _cmd_compare,
+    "figure": _cmd_figure,
+    "characterize": _cmd_characterize,
+    "replicate": _cmd_replicate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,466 @@
+"""Dead-value pools: buffers of garbage-page fingerprints awaiting rebirth.
+
+A dead-value pool (DVP) is the paper's central data structure (Sections III
+and IV).  When the FTL invalidates a physical page, the page's content
+fingerprint and PPN are *inserted* into the pool instead of being forgotten.
+When a later write carries a fingerprint that *hits* the pool, one of the
+garbage pages holding that exact content is revived — flipped back to valid
+and remapped — and the flash program operation is skipped entirely.
+
+Four pool variants are provided, matching the paper's studied systems:
+
+``InfiniteDeadValuePool``
+    The *Ideal* system: unbounded, never evicts (Figures 1, 5, 9, 10).
+``LRUDeadValuePool``
+    The strawman of Section III-A / Figure 5: recency only.
+``MQDeadValuePool``
+    The proposal (MQ-DVP): multi-queue, popularity + recency + aging.
+``LBARecencyPool``
+    A reimplementation of LX-SSD (Zhou et al., MSST 2017) as the paper
+    describes it: entries keyed by *logical address* recency with combined
+    read+write popularity — the two inefficiencies Section I calls out.
+
+All pools speak the same protocol (:class:`DeadValuePool`), so the FTL in
+:mod:`repro.ftl.dvp_ftl` is policy-agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from .hashing import Fingerprint
+from .mq import MultiQueue
+from .policies import LRUCache
+
+__all__ = [
+    "PoolStats",
+    "DeadValuePool",
+    "InfiniteDeadValuePool",
+    "LRUDeadValuePool",
+    "MQDeadValuePool",
+    "LBARecencyPool",
+]
+
+
+@dataclass
+class PoolStats:
+    """Counters every pool maintains; the experiment harness reads these."""
+
+    lookups: int = 0
+    hits: int = 0            # write short-circuited via a revived page
+    misses: int = 0
+    insertions: int = 0      # garbage pages inserted (new entry or new PPN)
+    evictions: int = 0       # entries evicted for capacity
+    evicted_ppns: int = 0    # garbage PPNs dropped by those evictions
+    gc_removals: int = 0     # PPNs removed because GC erased them
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of write lookups served from the pool."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _PoolEntry:
+    """Per-fingerprint state: every PPN currently holding this dead value."""
+
+    ppns: List[int] = field(default_factory=list)
+    popularity: int = 1
+
+
+class DeadValuePool(ABC):
+    """Protocol shared by all dead-value pool variants."""
+
+    def __init__(self) -> None:
+        self.stats = PoolStats()
+        #: Optional callback fired with each PPN the pool stops tracking
+        #: *outside* the insert path (e.g. an adaptive-capacity shrink).
+        #: The FTL registers its garbage-popularity cleanup here so the
+        #: GC victim metric never counts unrevivable pages.
+        self.drop_listener: Optional[Callable[[int], None]] = None
+
+    def _notify_drops(self, ppns) -> None:
+        if self.drop_listener is not None:
+            for ppn in ppns:
+                self.drop_listener(ppn)
+
+    @abstractmethod
+    def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
+        """Try to service a write of content ``fp`` from the pool.
+
+        On a hit, removes and returns one garbage PPN holding that content
+        (the FTL revives it).  On a miss returns ``None``.  ``now`` is the
+        write-request timestamp (the i-th write has timestamp i).
+        """
+
+    @abstractmethod
+    def insert_garbage(
+        self,
+        fp: Fingerprint,
+        ppn: int,
+        now: int,
+        popularity: int = 1,
+        lpn: Optional[int] = None,
+    ) -> List[int]:
+        """Record that physical page ``ppn`` just died holding content ``fp``.
+
+        ``popularity`` is the 1-byte write-popularity persisted in the
+        LPN-to-PPN table; ``lpn`` is the logical address the page was mapped
+        to (only the LX-SSD pool uses it).  Returns the list of garbage PPNs
+        dropped from tracking because of capacity evictions.
+        """
+
+    @abstractmethod
+    def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
+        """Forget ``ppn`` because GC physically erased it.
+
+        Returns ``True`` when the PPN was tracked.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of resident entries (distinct fingerprints)."""
+
+    @abstractmethod
+    def __contains__(self, fp: Fingerprint) -> bool:
+        """Whether content ``fp`` is currently revivable."""
+
+    def tracked_ppn_count(self) -> int:
+        """Total garbage PPNs tracked (for memory accounting in reports)."""
+        raise NotImplementedError
+
+
+def _take_ppn(entry: _PoolEntry) -> int:
+    """Pop the most recently deceased PPN (LIFO keeps the freshest copy)."""
+    return entry.ppns.pop()
+
+
+class InfiniteDeadValuePool(DeadValuePool):
+    """Unbounded pool: the *Ideal* upper bound of Figures 1, 5, 9 and 10."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._entries: Dict[Fingerprint, _PoolEntry] = {}
+
+    def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
+        self.stats.lookups += 1
+        entry = self._entries.get(fp)
+        if entry is None or not entry.ppns:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        ppn = _take_ppn(entry)
+        if not entry.ppns:
+            del self._entries[fp]
+        return ppn
+
+    def insert_garbage(
+        self,
+        fp: Fingerprint,
+        ppn: int,
+        now: int,
+        popularity: int = 1,
+        lpn: Optional[int] = None,
+    ) -> List[int]:
+        entry = self._entries.setdefault(fp, _PoolEntry(popularity=popularity))
+        entry.ppns.append(ppn)
+        entry.popularity = max(entry.popularity, popularity)
+        self.stats.insertions += 1
+        return []
+
+    def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
+        entry = self._entries.get(fp)
+        if entry is None or ppn not in entry.ppns:
+            return False
+        entry.ppns.remove(ppn)
+        if not entry.ppns:
+            del self._entries[fp]
+        self.stats.gc_removals += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._entries
+
+    def tracked_ppn_count(self) -> int:
+        return sum(len(e.ppns) for e in self._entries.values())
+
+
+class LRUDeadValuePool(DeadValuePool):
+    """Recency-only pool (Section III-A strawman, Figure 5).
+
+    Entries are fingerprints ordered by last *insertion or reuse* time;
+    when full, the least recently touched fingerprint is dropped together
+    with all its tracked PPNs.
+    """
+
+    def __init__(self, capacity: int):
+        super().__init__()
+        self._cache: LRUCache[Fingerprint, _PoolEntry] = LRUCache(capacity)
+
+    @property
+    def capacity(self) -> int:
+        return self._cache.capacity
+
+    def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
+        self.stats.lookups += 1
+        entry = self._cache.get(fp)
+        if entry is None or not entry.ppns:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        ppn = _take_ppn(entry)
+        if not entry.ppns:
+            self._cache.pop(fp)
+        return ppn
+
+    def insert_garbage(
+        self,
+        fp: Fingerprint,
+        ppn: int,
+        now: int,
+        popularity: int = 1,
+        lpn: Optional[int] = None,
+    ) -> List[int]:
+        self.stats.insertions += 1
+        entry = self._cache.peek(fp)
+        if entry is not None:
+            entry.ppns.append(ppn)
+            entry.popularity = max(entry.popularity, popularity)
+            self._cache.get(fp)  # refresh recency
+            return []
+        entry = _PoolEntry(ppns=[ppn], popularity=popularity)
+        evicted = self._cache.put(fp, entry)
+        if evicted is None:
+            return []
+        self.stats.evictions += 1
+        dropped = evicted[1].ppns
+        self.stats.evicted_ppns += len(dropped)
+        return list(dropped)
+
+    def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
+        entry = self._cache.peek(fp)
+        if entry is None or ppn not in entry.ppns:
+            return False
+        entry.ppns.remove(ppn)
+        if not entry.ppns:
+            self._cache.pop(fp)
+        self.stats.gc_removals += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._cache
+
+    def tracked_ppn_count(self) -> int:
+        return sum(len(e.ppns) for _, e in self._cache.items_lru_to_mru())
+
+
+class MQDeadValuePool(DeadValuePool):
+    """The paper's proposal: an MQ-managed dead-value pool (MQ-DVP).
+
+    Each entry holds a 16B hash, the PPN list, the write-popularity degree
+    and an expiration time (Figure 8); the multi-queue machinery supplies
+    promotion on access, expiry-driven demotion, and eviction from the
+    lowest queue (Section IV-C).
+    """
+
+    def __init__(self, capacity: int, num_queues: int = 8):
+        super().__init__()
+        self._mq: MultiQueue[Fingerprint, _PoolEntry] = MultiQueue(
+            capacity, num_queues=num_queues
+        )
+
+    @property
+    def capacity(self) -> int:
+        return self._mq.capacity
+
+    @property
+    def mq(self) -> MultiQueue:
+        """The underlying multi-queue (exposed for tests and reports)."""
+        return self._mq
+
+    def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
+        self.stats.lookups += 1
+        entry = self._mq.get(fp)
+        if entry is None or not entry.ppns:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        ppn = _take_ppn(entry)
+        if not entry.ppns:
+            # Last dead copy revived: the entry no longer describes garbage.
+            self._mq.remove(fp)
+        else:
+            self._mq.access(fp, now)
+        return ppn
+
+    def insert_garbage(
+        self,
+        fp: Fingerprint,
+        ppn: int,
+        now: int,
+        popularity: int = 1,
+        lpn: Optional[int] = None,
+    ) -> List[int]:
+        self.stats.insertions += 1
+        existing = self._mq.get(fp)
+        if existing is not None:
+            existing.ppns.append(ppn)
+            existing.popularity = max(existing.popularity, popularity)
+            self._mq.access(fp, now)
+            return []
+        entry = _PoolEntry(ppns=[ppn], popularity=popularity)
+        evicted = self._mq.insert(fp, entry, now, popularity=popularity)
+        if evicted is None:
+            return []
+        self.stats.evictions += 1
+        dropped = evicted[1].ppns
+        self.stats.evicted_ppns += len(dropped)
+        return list(dropped)
+
+    def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
+        entry = self._mq.get(fp)
+        if entry is None or ppn not in entry.ppns:
+            return False
+        entry.ppns.remove(ppn)
+        if not entry.ppns:
+            self._mq.remove(fp)
+        self.stats.gc_removals += 1
+        return True
+
+    def __len__(self) -> int:
+        return len(self._mq)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return fp in self._mq
+
+    def tracked_ppn_count(self) -> int:
+        total = 0
+        for index in range(self._mq.num_queues):
+            for key in self._mq.keys_in_queue(index):
+                total += len(self._mq.get(key).ppns)
+        return total
+
+
+@dataclass
+class _LbaEntry:
+    """LX-SSD slot: the last garbage page created at one logical address."""
+
+    fp: Fingerprint
+    ppn: int
+    popularity: int = 1
+    second_chance: bool = False
+
+
+class LBARecencyPool(DeadValuePool):
+    """LX-SSD-style pool (Zhou et al., MSST 2017), as the paper characterises it.
+
+    Two deliberate design choices reproduce the prior work's weaknesses the
+    paper critiques in Section I:
+
+    * slots are keyed by *logical page address* and ordered by LBA recency,
+      so one slot exists per hot LBA regardless of how many distinct values
+      died there — a newly dead value overwrites the previous one;
+    * the popularity used for the second-chance on eviction combines read
+      and write counts, even though read-popular values are not necessarily
+      rewritten.
+    """
+
+    def __init__(self, capacity: int, popularity_threshold: int = 4):
+        super().__init__()
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._by_lpn: "OrderedDict[int, _LbaEntry]" = OrderedDict()
+        self._fp_index: Dict[Fingerprint, Set[int]] = {}
+        self._popularity_threshold = popularity_threshold
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def _unindex(self, lpn: int, entry: _LbaEntry) -> None:
+        lpns = self._fp_index.get(entry.fp)
+        if lpns is not None:
+            lpns.discard(lpn)
+            if not lpns:
+                del self._fp_index[entry.fp]
+
+    def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
+        self.stats.lookups += 1
+        lpns = self._fp_index.get(fp)
+        if not lpns:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        lpn = next(iter(lpns))
+        entry = self._by_lpn.pop(lpn)
+        self._unindex(lpn, entry)
+        return entry.ppn
+
+    def insert_garbage(
+        self,
+        fp: Fingerprint,
+        ppn: int,
+        now: int,
+        popularity: int = 1,
+        lpn: Optional[int] = None,
+    ) -> List[int]:
+        if lpn is None:
+            raise ValueError("LBARecencyPool requires the logical address")
+        self.stats.insertions += 1
+        dropped: List[int] = []
+        old = self._by_lpn.pop(lpn, None)
+        if old is not None:
+            # The hot-LBA slot is overwritten: the previous dead value at
+            # this address is silently lost (the scalability flaw).
+            self._unindex(lpn, old)
+            dropped.append(old.ppn)
+            self.stats.evicted_ppns += 1
+        while len(self._by_lpn) >= self._capacity:
+            victim_lpn, victim = self._by_lpn.popitem(last=False)
+            if (
+                victim.popularity >= self._popularity_threshold
+                and not victim.second_chance
+            ):
+                victim.second_chance = True
+                self._by_lpn[victim_lpn] = victim  # back to MRU end
+                continue
+            self._unindex(victim_lpn, victim)
+            dropped.append(victim.ppn)
+            self.stats.evictions += 1
+            self.stats.evicted_ppns += 1
+        entry = _LbaEntry(fp=fp, ppn=ppn, popularity=popularity)
+        self._by_lpn[lpn] = entry
+        self._fp_index.setdefault(fp, set()).add(lpn)
+        return dropped
+
+    def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
+        lpns = self._fp_index.get(fp)
+        if not lpns:
+            return False
+        for lpn in list(lpns):
+            entry = self._by_lpn.get(lpn)
+            if entry is not None and entry.ppn == ppn:
+                del self._by_lpn[lpn]
+                self._unindex(lpn, entry)
+                self.stats.gc_removals += 1
+                return True
+        return False
+
+    def __len__(self) -> int:
+        return len(self._by_lpn)
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        return bool(self._fp_index.get(fp))
+
+    def tracked_ppn_count(self) -> int:
+        return len(self._by_lpn)

@@ -1,0 +1,94 @@
+"""Content fingerprints for 4KB values.
+
+The paper identifies a page's *value* (its 4KB content) by a 16-byte hash
+(MD5 in the FIU traces, SHA-1 in the OSU ones) and stores those hashes in
+the dead-value pool rather than the content itself.  The simulator mostly
+deals in synthetic values: a unique integer ``value_id`` stands in for one
+unique 4KB content.  This module maps both synthetic ids and raw bytes to
+:class:`Fingerprint` objects, the single currency used by the pools, the
+dedup FTL and the analysis code.
+
+Fingerprints compare and hash by digest, so two values collide exactly when
+their digests collide — which for synthetic ids never happens, because the
+digest embeds the id.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Union
+
+__all__ = [
+    "Fingerprint",
+    "fingerprint_of_value",
+    "fingerprint_of_bytes",
+    "DIGEST_SIZE",
+]
+
+#: Size of a stored fingerprint in bytes (matches the 16B MD5 hashes in the
+#: FIU traces, see paper Section II-A).
+DIGEST_SIZE = 16
+
+
+class Fingerprint:
+    """A 16-byte content fingerprint.
+
+    Wraps either a synthetic ``value_id`` (fast path used by generated
+    traces) or a real digest of raw bytes.  Instances are immutable,
+    hashable and compare equal iff their digests are equal.
+    """
+
+    __slots__ = ("_key",)
+
+    def __init__(self, key: Union[int, bytes]):
+        if isinstance(key, int):
+            if key < 0:
+                raise ValueError("synthetic value ids must be non-negative")
+        elif isinstance(key, bytes):
+            if len(key) != DIGEST_SIZE:
+                raise ValueError(
+                    f"digest must be {DIGEST_SIZE} bytes, got {len(key)}"
+                )
+        else:
+            raise TypeError(f"fingerprint key must be int or bytes, got {type(key)!r}")
+        self._key = key
+
+    @property
+    def key(self) -> Union[int, bytes]:
+        """The underlying key: an ``int`` value id or a 16-byte digest."""
+        return self._key
+
+    @property
+    def digest(self) -> bytes:
+        """A canonical 16-byte digest (materialised lazily for int keys)."""
+        if isinstance(self._key, bytes):
+            return self._key
+        return self._key.to_bytes(DIGEST_SIZE, "big")
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Fingerprint):
+            return self._key == other._key
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        if isinstance(self._key, int):
+            return f"Fingerprint(value_id={self._key})"
+        return f"Fingerprint(digest={self._key.hex()})"
+
+
+def fingerprint_of_value(value_id: int) -> Fingerprint:
+    """Fingerprint of a synthetic value id.
+
+    Synthetic traces number every distinct 4KB content with an integer; two
+    requests carry the same ``value_id`` exactly when the paper's traces
+    would carry the same MD5.
+    """
+    return Fingerprint(value_id)
+
+
+def fingerprint_of_bytes(data: bytes) -> Fingerprint:
+    """MD5 fingerprint of a raw 4KB chunk (real-trace / real-data path)."""
+    return Fingerprint(hashlib.md5(data).digest())

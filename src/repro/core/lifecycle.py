@@ -1,0 +1,212 @@
+"""Value life-cycle tracking: creation, death and rebirth of 4KB contents.
+
+Section II of the paper extends a value's life-cycle to three stages:
+
+* **creation** — the first time a value is written;
+* **death** — a copy of the value is invalidated (its logical page was
+  overwritten with different content), turning a physical page to garbage;
+* **rebirth** — the value is written again while at least one dead copy of
+  it still exists, so that copy could be revived instead of programmed.
+
+:class:`LifecycleTracker` replays a trace against an idealised logical
+address space (no capacity limits — the "infinite buffer" of Figure 1) and
+produces exactly the statistics Figures 1–4 are drawn from: per-value write,
+invalidation and rebirth counts, and the number of intervening writes
+between creation→death and death→rebirth, bucketed later by popularity
+degree.
+
+Two accounting modes mirror the paper's two storage models:
+
+* ``dedup=False`` — a normal SSD: every serviced write programs its own
+  physical copy, so a value can be live at many pages at once;
+* ``dedup=True`` — a deduplicated SSD (CAFTL-style): one physical copy per
+  value with reference counting; the copy dies only when the last pointer
+  is removed.  Used for the "after deduplication" series of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, Optional
+
+__all__ = ["ValueStats", "LifecycleStats", "LifecycleTracker"]
+
+
+@dataclass
+class ValueStats:
+    """Per-unique-value counters accumulated over a trace replay."""
+
+    writes: int = 0
+    reads: int = 0
+    invalidations: int = 0        # deaths: copies turned to garbage
+    rebirths: int = 0             # writes that found a dead copy to revive
+    live_copies: int = 0
+    dead_copies: int = 0
+    creation_index: int = -1      # write-clock when first written
+    last_death_index: int = -1    # write-clock of the most recent death
+    # Interval accumulators (paper Figure 4 reports means per popularity bin;
+    # sums + counts avoid storing every sample).
+    creation_to_death_sum: int = 0
+    creation_to_death_n: int = 0
+    death_to_rebirth_sum: int = 0
+    death_to_rebirth_n: int = 0
+
+    @property
+    def mean_creation_to_death(self) -> Optional[float]:
+        if self.creation_to_death_n == 0:
+            return None
+        return self.creation_to_death_sum / self.creation_to_death_n
+
+    @property
+    def mean_death_to_rebirth(self) -> Optional[float]:
+        if self.death_to_rebirth_n == 0:
+            return None
+        return self.death_to_rebirth_sum / self.death_to_rebirth_n
+
+
+@dataclass
+class LifecycleStats:
+    """Aggregate counters over the whole replay."""
+
+    total_requests: int = 0
+    total_writes: int = 0
+    total_reads: int = 0
+    deaths: int = 0
+    rebirths: int = 0             # writes short-circuitable via garbage
+    dedup_eliminated: int = 0     # writes removed by live-value dedup
+    programs: int = 0             # writes that actually hit flash
+
+
+class LifecycleTracker:
+    """Replay a trace and account every value's creations, deaths, rebirths.
+
+    The tracker is intentionally storage-agnostic: it models only the
+    logical address space and value multiplicity, with an *unbounded*
+    garbage pool, which is what the paper's Section II characterisation
+    does ("assuming that an unlimited buffer space is available").
+    """
+
+    def __init__(self, dedup: bool = False):
+        self.dedup = dedup
+        self.values: Dict[Hashable, ValueStats] = {}
+        self.stats = LifecycleStats()
+        self._page_content: Dict[int, Hashable] = {}
+        self._page_written_at: Dict[int, int] = {}
+        self._write_clock = 0
+
+    # ------------------------------------------------------------------
+
+    def _value(self, value_id: Hashable) -> ValueStats:
+        stats = self.values.get(value_id)
+        if stats is None:
+            stats = ValueStats()
+            self.values[value_id] = stats
+        return stats
+
+    def on_read(self, lpn: int, value_id: Hashable) -> None:
+        """Record a read of ``value_id`` (used for read-popularity stats)."""
+        self.stats.total_requests += 1
+        self.stats.total_reads += 1
+        self._value(value_id).reads += 1
+
+    def on_write(self, lpn: int, value_id: Hashable) -> bool:
+        """Record a write; return ``True`` when it was short-circuitable.
+
+        A write is short-circuitable when, at the moment it arrives, a dead
+        copy of its content exists (non-dedup mode), or — in dedup mode —
+        when it is not already eliminated by a live copy but a dead copy
+        exists.
+        """
+        self.stats.total_requests += 1
+        self.stats.total_writes += 1
+        self._write_clock += 1
+        now = self._write_clock
+
+        new = self._value(value_id)
+        if new.writes == 0:
+            new.creation_index = now
+        new.writes += 1
+
+        self._invalidate_previous(lpn, now, incoming=value_id)
+
+        reborn = False
+        if self.dedup and new.live_copies > 0:
+            # Live-value dedup removes the write before the garbage pool is
+            # ever consulted; the logical page just gains a pointer.
+            self.stats.dedup_eliminated += 1
+            new.live_copies += 1
+        elif new.dead_copies > 0:
+            reborn = True
+            new.rebirths += 1
+            new.dead_copies -= 1
+            new.live_copies += 1
+            if new.last_death_index >= 0:
+                new.death_to_rebirth_sum += now - new.last_death_index
+                new.death_to_rebirth_n += 1
+            self.stats.rebirths += 1
+        else:
+            self.stats.programs += 1
+            new.live_copies += 1
+
+        self._page_content[lpn] = value_id
+        self._page_written_at[lpn] = now
+        return reborn
+
+    def _invalidate_previous(
+        self, lpn: int, now: int, incoming: Hashable
+    ) -> None:
+        """Kill the copy previously mapped at ``lpn``, if any."""
+        old_id = self._page_content.get(lpn)
+        if old_id is None:
+            return
+        if old_id == incoming and not self.dedup:
+            # Overwriting a page with identical content still invalidates
+            # the old physical copy in a normal SSD (out-of-place update),
+            # and the dying copy is immediately a rebirth candidate.
+            pass
+        old = self.values[old_id]
+        old.live_copies -= 1
+        if self.dedup and old.live_copies > 0:
+            # Other pointers keep the physical copy alive: no death yet.
+            return
+        old.invalidations += 1
+        old.dead_copies += 1
+        old.last_death_index = now
+        written_at = self._page_written_at.get(lpn, old.creation_index)
+        if written_at >= 0:
+            old.creation_to_death_sum += now - written_at
+            old.creation_to_death_n += 1
+        self.stats.deaths += 1
+
+    # ------------------------------------------------------------------
+    # Derived views used by the Section II analyses
+    # ------------------------------------------------------------------
+
+    @property
+    def write_clock(self) -> int:
+        """Number of writes processed so far (the paper's time metric)."""
+        return self._write_clock
+
+    def unique_value_count(self) -> int:
+        """Distinct values *written* during the replay (read-only values —
+        e.g. pre-existing content only ever read — are excluded, matching
+        the paper's "values written during the course of execution")."""
+        return sum(1 for v in self.values.values() if v.writes > 0)
+
+    def live_value_count(self) -> int:
+        """Written values with at least one live copy at end of replay
+        (Figure 2's "still present (live) in the SSD")."""
+        return sum(
+            1 for v in self.values.values()
+            if v.writes > 0 and v.live_copies > 0
+        )
+
+    def reuse_probability(self) -> float:
+        """Figure 1: fraction of writes servable from garbage pages."""
+        if self.stats.total_writes == 0:
+            return 0.0
+        return self.stats.rebirths / self.stats.total_writes
+
+    def iter_value_stats(self) -> Iterable[ValueStats]:
+        """Stats of every *written* value (read-only entries excluded)."""
+        return (v for v in self.values.values() if v.writes > 0)

@@ -1,0 +1,189 @@
+"""Classic buffer replacement policies: LRU and LFU.
+
+The paper motivates the Multi-Queue dead-value pool by first showing that a
+plain LRU pool (Figure 5) captures recency but not popularity, while LFU
+captures frequency but not aging (Section II-B).  These small, fully-tested
+policy classes are the building blocks the pools in :mod:`repro.core.dvp`
+are composed from, and they double as the comparison points in the ablation
+benchmarks.
+
+Both structures are O(1) per operation (LFU uses the frequency-bucket list
+technique) and map hashable keys to arbitrary payloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generic, Hashable, Iterator, Optional, Tuple, TypeVar
+
+__all__ = ["LRUCache", "LFUCache"]
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A capacity-bounded least-recently-used map.
+
+    ``get`` and ``put`` refresh recency; when full, ``put`` evicts the least
+    recently used entry and returns it so callers (e.g. the dead-value pool)
+    can account for the eviction.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._data: "OrderedDict[K, V]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the value for ``key`` and mark it most-recently-used."""
+        if key not in self._data:
+            return None
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Return the value for ``key`` without touching recency."""
+        return self._data.get(key)
+
+    def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
+        """Insert or refresh ``key``; return the evicted ``(key, value)`` if any."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return None
+        evicted = None
+        if len(self._data) >= self._capacity:
+            evicted = self._data.popitem(last=False)
+        self._data[key] = value
+        return evicted
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove ``key`` and return its value, or ``None`` if absent."""
+        return self._data.pop(key, None)
+
+    def pop_lru(self) -> Optional[Tuple[K, V]]:
+        """Remove and return the least-recently-used entry, or ``None``."""
+        if not self._data:
+            return None
+        return self._data.popitem(last=False)
+
+    def lru_key(self) -> Optional[K]:
+        """The key next in line for eviction, or ``None`` when empty."""
+        return next(iter(self._data), None)
+
+    def items_lru_to_mru(self) -> Iterator[Tuple[K, V]]:
+        """Iterate entries from coldest to hottest (snapshot-safe)."""
+        return iter(list(self._data.items()))
+
+
+class _FreqNode(Generic[K]):
+    """One frequency bucket: an insertion-ordered set of keys."""
+
+    __slots__ = ("freq", "keys")
+
+    def __init__(self, freq: int):
+        self.freq = freq
+        self.keys: "OrderedDict[K, None]" = OrderedDict()
+
+
+class LFUCache(Generic[K, V]):
+    """A capacity-bounded least-frequently-used map with LRU tie-breaking.
+
+    Used as the frequency-only comparison point for the MQ pool: it never
+    ages entries, so a value that was hot once can pin its slot forever —
+    exactly the failure mode Section II-B ascribes to LFU.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._capacity = capacity
+        self._values: Dict[K, V] = {}
+        self._freq_of: Dict[K, int] = {}
+        self._buckets: Dict[int, _FreqNode[K]] = {}
+        self._min_freq = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._values
+
+    def frequency(self, key: K) -> int:
+        """Access count of ``key`` (0 if absent)."""
+        return self._freq_of.get(key, 0)
+
+    def _bucket(self, freq: int) -> _FreqNode[K]:
+        node = self._buckets.get(freq)
+        if node is None:
+            node = _FreqNode(freq)
+            self._buckets[freq] = node
+        return node
+
+    def _touch(self, key: K) -> None:
+        freq = self._freq_of[key]
+        bucket = self._buckets[freq]
+        del bucket.keys[key]
+        if not bucket.keys:
+            del self._buckets[freq]
+            if self._min_freq == freq:
+                self._min_freq = freq + 1
+        self._freq_of[key] = freq + 1
+        self._bucket(freq + 1).keys[key] = None
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the value for ``key`` and bump its frequency."""
+        if key not in self._values:
+            return None
+        self._touch(key)
+        return self._values[key]
+
+    def put(self, key: K, value: V) -> Optional[Tuple[K, V]]:
+        """Insert or refresh ``key``; return the evicted ``(key, value)`` if any."""
+        if key in self._values:
+            self._values[key] = value
+            self._touch(key)
+            return None
+        evicted = None
+        if len(self._values) >= self._capacity:
+            evicted = self._evict_one()
+        self._values[key] = value
+        self._freq_of[key] = 1
+        self._bucket(1).keys[key] = None
+        self._min_freq = 1
+        return evicted
+
+    def _evict_one(self) -> Tuple[K, V]:
+        bucket = self._buckets[self._min_freq]
+        key, _ = bucket.keys.popitem(last=False)
+        if not bucket.keys:
+            del self._buckets[self._min_freq]
+        del self._freq_of[key]
+        return key, self._values.pop(key)
+
+    def pop(self, key: K) -> Optional[V]:
+        """Remove ``key`` and return its value, or ``None`` if absent."""
+        if key not in self._values:
+            return None
+        freq = self._freq_of.pop(key)
+        bucket = self._buckets[freq]
+        del bucket.keys[key]
+        if not bucket.keys:
+            del self._buckets[freq]
+        return self._values.pop(key)

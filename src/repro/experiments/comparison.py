@@ -1,0 +1,146 @@
+"""Paper-vs-measured comparison: the published numbers, in one place.
+
+The reproduction target (see DESIGN.md) is the *shape* of each result —
+who wins, by roughly what factor, where the knees fall — not the absolute
+numbers, which depend on the authors' exact traces and testbed.  This
+module encodes every quantitative claim the paper makes about its figures
+so tests and EXPERIMENTS.md can line measured values up against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["PaperClaim", "PAPER_CLAIMS", "claim_by_id", "comparison_rows"]
+
+
+@dataclass(frozen=True)
+class PaperClaim:
+    """One published number and where it comes from."""
+
+    claim_id: str
+    figure: str
+    description: str
+    value: float
+    unit: str = "%"
+
+
+#: Every quantitative claim in the paper's abstract and evaluation.
+PAPER_CLAIMS: List[PaperClaim] = [
+    PaperClaim(
+        "fig1_max_reuse", "Figure 1",
+        "max P(reuse) of garbage pages with infinite buffer", 86.0,
+    ),
+    PaperClaim(
+        "fig2_live_fraction", "Figure 2",
+        "values still live at end of mail trace", 30.0,
+    ),
+    PaperClaim(
+        "fig3a_top20_write_share", "Figure 3a",
+        "share of writes carried by top 20% of values (mail)", 80.0,
+    ),
+    PaperClaim(
+        "fig3b_top20_invalidation_share", "Figure 3b",
+        "share of invalidations carried by top 20% of values", 80.0,
+    ),
+    PaperClaim(
+        "fig5_small_buffer_reduction", "Figure 5",
+        "max write reduction with a 100K-entry LRU buffer", 62.0,
+    ),
+    PaperClaim(
+        "fig9_mean_write_reduction", "Figure 9",
+        "mean write reduction, MQ-DVP with 200K entries", 29.0,
+    ),
+    PaperClaim(
+        "fig9_max_write_reduction", "Figure 9",
+        "max write reduction (mail)", 70.0,
+    ),
+    PaperClaim(
+        "fig10_mean_erase_reduction", "Figure 10",
+        "mean erase reduction, 200K entries", 35.5,
+    ),
+    PaperClaim(
+        "fig10_max_erase_reduction", "Figure 10",
+        "max erase reduction (mail)", 59.2,
+    ),
+    PaperClaim(
+        "fig11_mean_latency_improvement", "Figure 11",
+        "mean latency improvement", 24.5,
+    ),
+    PaperClaim(
+        "fig11_max_latency_improvement", "Figure 11",
+        "max latency improvement (mail)", 52.0,
+    ),
+    PaperClaim(
+        "fig11_min_latency_improvement", "Figure 11",
+        "min latency improvement (desktop)", 4.8,
+    ),
+    PaperClaim(
+        "fig11_lxssd_dvp_ratio", "Figure 11",
+        "DVP outperforms LX-SSD by about this factor", 2.0, unit="x",
+    ),
+    PaperClaim(
+        "fig12_mean_tail_improvement", "Figure 12",
+        "mean p99 latency improvement", 22.0,
+    ),
+    PaperClaim(
+        "fig12_max_tail_improvement", "Figure 12",
+        "max p99 latency improvement", 43.1,
+    ),
+    PaperClaim(
+        "fig14_dedup_mean_write_reduction", "Figure 14",
+        "mean write reduction of deduplication alone", 40.5,
+    ),
+    PaperClaim(
+        "fig14_dvp_over_dedup", "Figure 14",
+        "extra write reduction of DVP+Dedup relative to Dedup", 11.0,
+    ),
+    PaperClaim(
+        "fig15_dedup_max_latency", "Figure 15",
+        "max latency improvement of deduplication", 58.5,
+    ),
+    PaperClaim(
+        "fig15_dvp_over_dedup_mean", "Figure 15",
+        "mean extra latency improvement of DVP+Dedup over Dedup", 9.8,
+    ),
+    PaperClaim(
+        "fig15_dvp_over_dedup_max", "Figure 15",
+        "max extra latency improvement of DVP+Dedup over Dedup", 15.0,
+    ),
+]
+
+
+def claim_by_id(claim_id: str) -> PaperClaim:
+    for claim in PAPER_CLAIMS:
+        if claim.claim_id == claim_id:
+            return claim
+    raise KeyError(claim_id)
+
+
+def comparison_rows(
+    measured: Mapping[str, float]
+) -> List[Sequence[object]]:
+    """Rows of (figure, description, paper, measured) for report tables.
+
+    ``measured`` maps claim ids to measured values; claims without a
+    measurement are rendered with a dash.
+    """
+    rows: List[Sequence[object]] = []
+    for claim in PAPER_CLAIMS:
+        value = measured.get(claim.claim_id)
+        rows.append(
+            (
+                claim.figure,
+                claim.description,
+                f"{claim.value:g}{claim.unit}",
+                "-" if value is None else f"{value:.1f}{claim.unit}",
+            )
+        )
+    return rows
+
+
+def mean_improvement(per_workload: Mapping[str, float]) -> float:
+    """Arithmetic mean across workloads — how the paper averages."""
+    return mean(per_workload.values()) if per_workload else 0.0

@@ -1,0 +1,328 @@
+"""One entry point per paper table/figure (the per-experiment index).
+
+Every public function regenerates the data behind one figure or table of
+the paper, at a configurable scale, and returns a plain structure the
+benchmarks print and the integration tests assert on.  The mapping to the
+paper is:
+
+========  ==========================================================
+fig01     Reuse probability of garbage pages (infinite buffer) per
+          trace-day, with and without dedup
+fig02     CDF of invalidation counts (mail)
+fig03     CDFs of writes / invalidations / rebirths per value (mail)
+fig04     Life-cycle timing and rebirth counts vs popularity (mail)
+fig05     Writes surviving an LRU pool, 100K–1M entries vs infinite
+fig06     Avg LRU-pool misses per popularity degree (m2, 100K)
+table1    Modeled SSD configuration
+table2    Workload characteristics of the synthetic traces
+fig09     Write reduction, pools 100K–300K + ideal, all workloads
+fig10     Erase reduction @200K + ideal
+fig11     Mean latency improvement (DVP vs LX-SSD)
+fig12     Tail (p99) latency improvement
+fig14     Writes: Dedup vs DVP vs DVP+Dedup (normalised to baseline)
+fig15     Mean latency improvement: Dedup vs DVP vs DVP+Dedup
+========  ==========================================================
+
+Figures sharing simulation runs (9–12, 14, 15) take an
+:class:`EvaluationMatrix`, which lazily runs and caches each
+(workload, system, pool size) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.characterize import (
+    InvalidationCDF,
+    LifecycleIntervals,
+    PoolStudyResult,
+    ReuseOpportunity,
+    ValueCDFs,
+    invalidation_cdf,
+    lifecycle_intervals,
+    lru_miss_breakdown,
+    lru_pool_sweep,
+    reuse_opportunity,
+    run_lifecycle,
+    value_cdfs,
+)
+from ..flash.config import SSDConfig, paper_config
+from ..sim.metrics import RunResult, percent_improvement
+from ..traces.profiles import PROFILES, TraceAudit, audit_trace, profile_by_name
+from ..traces.synthetic import generate_trace
+from .runner import (
+    DEFAULT_SCALE,
+    ExperimentContext,
+    run_system,
+    scaled_pool_entries,
+)
+
+__all__ = [
+    "EvaluationMatrix",
+    "ALL_WORKLOADS",
+    "PAPER_POOL_SIZES",
+    "fig01_reuse_opportunity",
+    "fig02_invalidation_cdf",
+    "fig03_value_cdfs",
+    "fig04_lifecycle",
+    "fig05_lru_sweep",
+    "fig06_lru_misses",
+    "table1_configuration",
+    "table2_workloads",
+    "fig09_write_reduction",
+    "fig10_erase_reduction",
+    "fig11_mean_latency",
+    "fig12_tail_latency",
+    "fig14_dedup_writes",
+    "fig15_dedup_latency",
+]
+
+ALL_WORKLOADS: Tuple[str, ...] = (
+    "web", "home", "mail", "hadoop", "trans", "desktop",
+)
+
+#: The pool sizes of Figures 5 and 9, in the paper's own labels.
+PAPER_POOL_SIZES: Tuple[int, ...] = (100_000, 200_000, 300_000)
+
+
+class EvaluationMatrix:
+    """Lazy cache of simulation runs keyed by (workload, system, pool size).
+
+    One matrix per scale; building a cell generates the workload context
+    once and reuses it for every system run on that workload.
+    """
+
+    def __init__(self, scale: float = DEFAULT_SCALE):
+        self.scale = scale
+        self._contexts: Dict[str, ExperimentContext] = {}
+        self._runs: Dict[Tuple[str, str, int], RunResult] = {}
+
+    def context(self, workload: str) -> ExperimentContext:
+        if workload not in self._contexts:
+            self._contexts[workload] = ExperimentContext.for_workload(
+                workload, self.scale
+            )
+        return self._contexts[workload]
+
+    def run(
+        self, workload: str, system: str, pool_entries: int = 200_000
+    ) -> RunResult:
+        key = (workload, system, pool_entries)
+        if key not in self._runs:
+            self._runs[key] = run_system(
+                system, self.context(workload), pool_entries, self.scale
+            )
+        return self._runs[key]
+
+    def improvement(
+        self,
+        workload: str,
+        system: str,
+        metric: str,
+        pool_entries: int = 200_000,
+    ) -> float:
+        """% reduction of ``metric`` vs the baseline system (the paper's
+        normalisation).  ``metric`` is a key of ``RunResult.summary()``."""
+        base = self.run(workload, "baseline").summary()[metric]
+        this = self.run(workload, system, pool_entries).summary()[metric]
+        return percent_improvement(base, this)
+
+
+# ----------------------------------------------------------------------
+# Section II figures (trace analysis, no simulator)
+# ----------------------------------------------------------------------
+
+
+def _day_traces(
+    workloads: Sequence[str], days: Sequence[int], scale: float
+) -> List[Tuple[str, list]]:
+    out = []
+    for workload in workloads:
+        base = profile_by_name(workload).scaled(scale)
+        for day in days:
+            profile = base.day(day)
+            out.append((profile.name, generate_trace(profile)))
+    return out
+
+
+def fig01_reuse_opportunity(
+    scale: float = DEFAULT_SCALE,
+    workloads: Sequence[str] = ("mail", "home", "web"),
+    days: Sequence[int] = (1, 2, 3),
+) -> List[ReuseOpportunity]:
+    """Figure 1: P(reuse) per trace-day, with and without deduplication."""
+    return [
+        reuse_opportunity(trace, name)
+        for name, trace in _day_traces(workloads, days, scale)
+    ]
+
+
+def fig02_invalidation_cdf(
+    scale: float = DEFAULT_SCALE, workload: str = "mail"
+) -> InvalidationCDF:
+    """Figure 2: CDF of per-value invalidation counts."""
+    trace = generate_trace(profile_by_name(workload).scaled(scale))
+    return invalidation_cdf(run_lifecycle(trace))
+
+
+def fig03_value_cdfs(
+    scale: float = DEFAULT_SCALE, workload: str = "mail"
+) -> ValueCDFs:
+    """Figure 3: cumulative shares of writes/invalidations/rebirths."""
+    trace = generate_trace(profile_by_name(workload).scaled(scale))
+    return value_cdfs(run_lifecycle(trace))
+
+
+def fig04_lifecycle(
+    scale: float = DEFAULT_SCALE, workload: str = "mail"
+) -> LifecycleIntervals:
+    """Figure 4: life-cycle intervals and rebirth counts by popularity."""
+    trace = generate_trace(profile_by_name(workload).scaled(scale))
+    return lifecycle_intervals(run_lifecycle(trace))
+
+
+def fig05_lru_sweep(
+    scale: float = DEFAULT_SCALE,
+    workloads: Sequence[str] = ("mail", "home", "web"),
+    days: Sequence[int] = (1, 2),
+    paper_sizes: Sequence[int] = (100_000, 400_000, 1_000_000),
+) -> Dict[str, Dict[str, PoolStudyResult]]:
+    """Figure 5: writes surviving LRU pools of several sizes vs infinite."""
+    out: Dict[str, Dict[str, PoolStudyResult]] = {}
+    for name, trace in _day_traces(workloads, days, scale):
+        sizes = [scaled_pool_entries(s, scale) for s in paper_sizes]
+        out[name] = lru_pool_sweep(trace, sizes, name)
+    return out
+
+
+def fig06_lru_misses(
+    scale: float = DEFAULT_SCALE,
+    workload: str = "mail",
+    day: int = 2,
+    paper_size: int = 100_000,
+    num_buckets: int = 20,
+) -> Dict[int, float]:
+    """Figure 6: average LRU-pool capacity misses per popularity degree."""
+    profile = profile_by_name(workload).scaled(scale).day(day)
+    trace = generate_trace(profile)
+    return lru_miss_breakdown(
+        trace, scaled_pool_entries(paper_size, scale), num_buckets,
+        profile.name,
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables
+# ----------------------------------------------------------------------
+
+
+def table1_configuration() -> SSDConfig:
+    """Table I: the modeled SSD (the full-size paper drive)."""
+    return paper_config()
+
+
+def table2_workloads(
+    scale: float = DEFAULT_SCALE,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Dict[str, Tuple[TraceAudit, "object"]]:
+    """Table II: measured characteristics of each synthetic workload,
+    paired with the paper's published targets."""
+    out = {}
+    for workload in workloads:
+        profile = profile_by_name(workload).scaled(scale)
+        audit = audit_trace(generate_trace(profile))
+        out[workload] = (audit, profile.targets)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Evaluation figures (full simulator)
+# ----------------------------------------------------------------------
+
+
+def fig09_write_reduction(
+    matrix: EvaluationMatrix,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+    pool_sizes: Sequence[int] = PAPER_POOL_SIZES,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 9: % write reduction vs baseline for each pool size + ideal."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        row: Dict[str, float] = {}
+        for size in pool_sizes:
+            row[f"{size // 1000}K"] = matrix.improvement(
+                workload, "mq-dvp", "flash_writes", size
+            )
+        row["ideal"] = matrix.improvement(workload, "ideal", "flash_writes")
+        out[workload] = row
+    return out
+
+
+def fig10_erase_reduction(
+    matrix: EvaluationMatrix,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 10: % erase reduction vs baseline (200K pool and ideal)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        out[workload] = {
+            "200K": matrix.improvement(workload, "mq-dvp", "erases"),
+            "ideal": matrix.improvement(workload, "ideal", "erases"),
+        }
+    return out
+
+
+def fig11_mean_latency(
+    matrix: EvaluationMatrix,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 11: % mean-latency improvement, DVP vs LX-SSD prior work."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        out[workload] = {
+            "dvp": matrix.improvement(workload, "mq-dvp", "mean_latency_us"),
+            "lxssd": matrix.improvement(workload, "lxssd", "mean_latency_us"),
+        }
+    return out
+
+
+def fig12_tail_latency(
+    matrix: EvaluationMatrix,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Dict[str, float]:
+    """Figure 12: % p99-latency improvement of DVP over baseline."""
+    return {
+        workload: matrix.improvement(workload, "mq-dvp", "p99_latency_us")
+        for workload in workloads
+    }
+
+
+def fig14_dedup_writes(
+    matrix: EvaluationMatrix,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 14: flash writes normalised to baseline, for Dedup, DVP and
+    DVP+Dedup (lower is better; the paper plots this exact normalisation)."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        base = matrix.run(workload, "baseline").flash_writes
+        out[workload] = {
+            system: matrix.run(workload, system).flash_writes / base
+            for system in ("dedup", "mq-dvp", "dvp+dedup")
+        }
+    return out
+
+
+def fig15_dedup_latency(
+    matrix: EvaluationMatrix,
+    workloads: Sequence[str] = ALL_WORKLOADS,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 15: % mean-latency improvement for Dedup, DVP, DVP+Dedup."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        out[workload] = {
+            system: matrix.improvement(workload, system, "mean_latency_us")
+            for system in ("dedup", "mq-dvp", "dvp+dedup")
+        }
+    return out

@@ -1,0 +1,112 @@
+"""Multi-seed replication: means, spreads and paired comparisons.
+
+The paper reports single trace replays; with synthetic workloads we can do
+better — regenerate each workload under several seeds and report the
+sampling spread of every improvement number, so EXPERIMENTS.md claims are
+not one-seed accidents.
+
+:func:`replicate` runs one (workload, system) cell across seeds;
+:func:`paired_improvement` compares a system against baseline *per seed*
+(the strongest design: both systems see the identical trace) and returns
+the mean, min and max improvement over seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from statistics import mean, stdev
+from typing import Callable, Dict, List, Sequence
+
+from ..sim.metrics import RunResult, percent_improvement
+from ..traces.profiles import profile_by_name
+from ..traces.synthetic import generate_trace
+from .runner import DEFAULT_SCALE, ExperimentContext, config_for_profile, run_system
+
+__all__ = ["Replicates", "replicate", "paired_improvement"]
+
+
+@dataclass(frozen=True)
+class Replicates:
+    """Per-seed samples of one scalar metric, with summary statistics."""
+
+    metric: str
+    samples: List[float]
+
+    @property
+    def mean(self) -> float:
+        return mean(self.samples) if self.samples else 0.0
+
+    @property
+    def spread(self) -> float:
+        """Sample standard deviation (0 for fewer than two samples)."""
+        return stdev(self.samples) if len(self.samples) > 1 else 0.0
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.mean:.2f} ± {self.spread:.2f} "
+            f"[{self.minimum:.2f}, {self.maximum:.2f}] (n={len(self.samples)})"
+        )
+
+
+def _context_for_seed(
+    workload: str, scale: float, seed: int
+) -> ExperimentContext:
+    profile = replace(profile_by_name(workload).scaled(scale), seed=seed)
+    return ExperimentContext(
+        profile=profile,
+        trace=generate_trace(profile),
+        config=config_for_profile(profile),
+    )
+
+
+def replicate(
+    workload: str,
+    system: str,
+    metric: str,
+    seeds: Sequence[int],
+    scale: float = DEFAULT_SCALE,
+    paper_pool_entries: int = 200_000,
+) -> Replicates:
+    """Run one system over reseeded variants of a workload.
+
+    ``metric`` is any key of ``RunResult.summary()``.
+    """
+    samples = []
+    for seed in seeds:
+        context = _context_for_seed(workload, scale, seed)
+        result = run_system(system, context, paper_pool_entries, scale)
+        samples.append(float(result.summary()[metric]))
+    return Replicates(metric=metric, samples=samples)
+
+
+def paired_improvement(
+    workload: str,
+    system: str,
+    metric: str,
+    seeds: Sequence[int],
+    scale: float = DEFAULT_SCALE,
+    paper_pool_entries: int = 200_000,
+    baseline: str = "baseline",
+) -> Replicates:
+    """Per-seed % improvement of ``system`` over ``baseline``.
+
+    Both systems replay the *same* trace for each seed, so the pairs are
+    directly comparable and trace-sampling noise cancels.
+    """
+    samples = []
+    for seed in seeds:
+        context = _context_for_seed(workload, scale, seed)
+        base = run_system(baseline, context, paper_pool_entries, scale)
+        this = run_system(system, context, paper_pool_entries, scale)
+        samples.append(percent_improvement(
+            base.summary()[metric], this.summary()[metric]
+        ))
+    return Replicates(metric=f"{metric} improvement %", samples=samples)

@@ -1,0 +1,255 @@
+"""One-command reproduction report: every table and figure, one document.
+
+:func:`generate_report` regenerates all the paper's artifacts at a given
+scale and renders them into a single plain-text/markdown-ish document —
+the programmatic equivalent of running the whole benchmark suite with
+``-s`` and collecting the output.  Exposed on the CLI as
+``python -m repro report [--scale S] [--out FILE]``.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+from typing import List
+
+from ..analysis.report import render_series, render_table
+from .comparison import comparison_rows
+from .figures import (
+    EvaluationMatrix,
+    fig01_reuse_opportunity,
+    fig02_invalidation_cdf,
+    fig03_value_cdfs,
+    fig04_lifecycle,
+    fig05_lru_sweep,
+    fig06_lru_misses,
+    fig09_write_reduction,
+    fig10_erase_reduction,
+    fig11_mean_latency,
+    fig12_tail_latency,
+    fig14_dedup_writes,
+    fig15_dedup_latency,
+    table1_configuration,
+    table2_workloads,
+)
+from .runner import DEFAULT_SCALE
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"\n## {title}\n\n{body}\n"
+
+
+def generate_report(scale: float = DEFAULT_SCALE) -> str:
+    """Regenerate every artifact and return the full report text."""
+    matrix = EvaluationMatrix(scale=scale)
+    parts: List[str] = [
+        "# Reviving Zombie Pages on SSDs — reproduction report",
+        f"\nScale: {scale} (see DESIGN.md §4).  All runs deterministic.",
+    ]
+
+    # --- Section II ----------------------------------------------------
+    fig01 = fig01_reuse_opportunity(scale)
+    parts.append(_section(
+        "Figure 1 — reuse probability (infinite buffer)",
+        render_table(
+            ["trace-day", "P(reuse)", "after dedup"],
+            [(r.workload, f"{r.without_dedup:.3f}", f"{r.with_dedup:.3f}")
+             for r in fig01],
+        ),
+    ))
+
+    fig02 = fig02_invalidation_cdf(scale)
+    parts.append(_section(
+        "Figure 2 — invalidation-count CDF (mail)",
+        f"values live at end: {fig02.live_value_frac:.1%}; "
+        f"never invalidated: {fig02.never_invalidated_frac:.1%}",
+    ))
+
+    fig03 = fig03_value_cdfs(scale)
+    parts.append(_section(
+        "Figure 3 — value-popularity skew (mail)",
+        render_table(
+            ["values", "writes", "invalidations", "rebirths"],
+            [(f"top {int(f * 100)}%",
+              f"{fig03.share_at('write', f):.3f}",
+              f"{fig03.share_at('invalidation', f):.3f}",
+              f"{fig03.share_at('rebirth', f):.3f}")
+             for f in (0.05, 0.2, 0.5, 1.0)],
+        ),
+    ))
+
+    fig04 = fig04_lifecycle(scale)
+    parts.append(_section(
+        "Figure 4 — life-cycle timing by popularity (mail)",
+        render_series(
+            {
+                "death->rebirth (writes)": sorted(
+                    fig04.death_to_rebirth.items()
+                ),
+                "rebirth count": sorted(fig04.rebirth_counts.items()),
+            },
+            y_format="{:.1f}",
+        ),
+    ))
+
+    fig05 = fig05_lru_sweep(scale)
+    labels = list(next(iter(fig05.values())).keys())
+    parts.append(_section(
+        "Figure 5 — LRU pool sweep (writes surviving)",
+        render_table(
+            ["trace-day"] + labels,
+            [[day] + [sweep[label].serviced_writes for label in labels]
+             for day, sweep in fig05.items()],
+        ),
+    ))
+
+    fig06 = fig06_lru_misses(scale)
+    parts.append(_section(
+        "Figure 6 — avg LRU capacity misses by popularity (m2)",
+        render_series(
+            {"avg misses": sorted(fig06.items())}, y_format="{:.2f}",
+        ),
+    ))
+
+    # --- Tables ---------------------------------------------------------
+    config = table1_configuration()
+    parts.append(_section(
+        "Table I — modeled SSD",
+        render_table(
+            ["parameter", "value"],
+            [
+                ("geometry", f"{config.channels}x{config.chips_per_channel} "
+                             f"chips, {config.dies_per_chip} dies, "
+                             f"{config.planes_per_die} planes"),
+                ("raw capacity (GB)", config.raw_capacity_bytes / 2**30),
+                ("read/program/erase (us)",
+                 f"{config.timing.read_us:g}/{config.timing.program_us:g}"
+                 f"/{config.timing.erase_us:g}"),
+                ("hashing (us)", config.timing.hash_us),
+                ("over-provisioning", config.overprovision),
+            ],
+        ),
+    ))
+
+    table2 = table2_workloads(scale)
+    parts.append(_section(
+        "Table II — workloads (paper -> measured)",
+        render_table(
+            ["trace", "WR%", "uniqW%", "uniqR%"],
+            [(name,
+              f"{t.write_ratio * 100:.0f} -> {a.write_ratio * 100:.1f}",
+              f"{t.unique_write_frac * 100:.1f} -> "
+              f"{a.unique_write_frac * 100:.1f}",
+              f"{t.unique_read_frac * 100:.1f} -> "
+              f"{a.unique_read_frac * 100:.1f}")
+             for name, (a, t) in table2.items()],
+        ),
+    ))
+
+    # --- Evaluation -----------------------------------------------------
+    fig09 = fig09_write_reduction(matrix)
+    sizes = list(next(iter(fig09.values())).keys())
+    parts.append(_section(
+        "Figure 9 — write reduction (%)",
+        render_table(
+            ["workload"] + sizes,
+            [[wl] + [f"{row[s]:.1f}" for s in sizes]
+             for wl, row in fig09.items()],
+        ),
+    ))
+
+    fig10 = fig10_erase_reduction(matrix)
+    parts.append(_section(
+        "Figure 10 — erase reduction (%)",
+        render_table(
+            ["workload", "200K", "ideal"],
+            [(wl, f"{r['200K']:.1f}", f"{r['ideal']:.1f}")
+             for wl, r in fig10.items()],
+        ),
+    ))
+
+    fig11 = fig11_mean_latency(matrix)
+    parts.append(_section(
+        "Figure 11 — mean latency improvement (%)",
+        render_table(
+            ["workload", "DVP", "LX-SSD"],
+            [(wl, f"{r['dvp']:.1f}", f"{r['lxssd']:.1f}")
+             for wl, r in fig11.items()],
+        ),
+    ))
+
+    fig12 = fig12_tail_latency(matrix)
+    parts.append(_section(
+        "Figure 12 — p99 latency improvement (%)",
+        render_table(
+            ["workload", "improvement"],
+            [(wl, f"{v:.1f}") for wl, v in fig12.items()],
+        ),
+    ))
+
+    fig14 = fig14_dedup_writes(matrix)
+    parts.append(_section(
+        "Figure 14 — writes normalised to baseline",
+        render_table(
+            ["workload", "Dedup", "DVP", "DVP+Dedup"],
+            [(wl, f"{r['dedup']:.3f}", f"{r['mq-dvp']:.3f}",
+              f"{r['dvp+dedup']:.3f}")
+             for wl, r in fig14.items()],
+        ),
+    ))
+
+    fig15 = fig15_dedup_latency(matrix)
+    parts.append(_section(
+        "Figure 15 — latency improvement (%): Dedup / DVP / DVP+Dedup",
+        render_table(
+            ["workload", "Dedup", "DVP", "DVP+Dedup"],
+            [(wl, f"{r['dedup']:.1f}", f"{r['mq-dvp']:.1f}",
+              f"{r['dvp+dedup']:.1f}")
+             for wl, r in fig15.items()],
+        ),
+    ))
+
+    # --- Claim-by-claim summary -----------------------------------------
+    measured = {
+        "fig1_max_reuse": 100 * max(r.without_dedup for r in fig01),
+        "fig2_live_fraction": 100 * fig02.live_value_frac,
+        "fig3a_top20_write_share": 100 * fig03.share_at("write", 0.2),
+        "fig3b_top20_invalidation_share":
+            100 * fig03.share_at("invalidation", 0.2),
+        "fig9_mean_write_reduction":
+            mean(r["200K"] for r in fig09.values()),
+        "fig9_max_write_reduction": max(r["200K"] for r in fig09.values()),
+        "fig10_mean_erase_reduction":
+            mean(r["200K"] for r in fig10.values()),
+        "fig10_max_erase_reduction": max(r["200K"] for r in fig10.values()),
+        "fig11_mean_latency_improvement":
+            mean(r["dvp"] for r in fig11.values()),
+        "fig11_max_latency_improvement":
+            max(r["dvp"] for r in fig11.values()),
+        "fig11_min_latency_improvement":
+            min(r["dvp"] for r in fig11.values()),
+        "fig12_mean_tail_improvement": mean(fig12.values()),
+        "fig12_max_tail_improvement": max(fig12.values()),
+        "fig14_dedup_mean_write_reduction":
+            100 * mean(1 - r["dedup"] for r in fig14.values()),
+        "fig14_dvp_over_dedup": 100 * mean(
+            (r["dedup"] - r["dvp+dedup"]) / r["dedup"]
+            for r in fig14.values()
+        ),
+        "fig15_dedup_max_latency": max(r["dedup"] for r in fig15.values()),
+        "fig15_dvp_over_dedup_mean": mean(
+            r["dvp+dedup"] - r["dedup"] for r in fig15.values()
+        ),
+        "fig15_dvp_over_dedup_max": max(
+            r["dvp+dedup"] - r["dedup"] for r in fig15.values()
+        ),
+    }
+    parts.append(_section(
+        "Paper vs measured (claim by claim)",
+        render_table(
+            ["figure", "claim", "paper", "measured"],
+            comparison_rows(measured),
+        ),
+    ))
+    return "\n".join(parts)

@@ -1,0 +1,26 @@
+"""NAND flash substrate: geometry, timing, block/array state.
+
+This package rebuilds the device model the paper gets from SSDSim [13]:
+the Table I drive (channels × chips × dies × planes × blocks × pages with
+asymmetric read/program/erase latencies) as pure-Python state machines.
+"""
+
+from .array import FlashArray
+from .block import Block, PageState
+from .config import SSDConfig, TimingParams, paper_config, scaled_config
+from .geometry import Geometry, PageAddress
+from .timing import ResourceTimeline, TimelineSet
+
+__all__ = [
+    "SSDConfig",
+    "TimingParams",
+    "paper_config",
+    "scaled_config",
+    "Geometry",
+    "PageAddress",
+    "Block",
+    "PageState",
+    "FlashArray",
+    "ResourceTimeline",
+    "TimelineSet",
+]

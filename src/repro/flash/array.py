@@ -1,0 +1,95 @@
+"""The NAND array: every block of the drive plus drive-level accounting.
+
+:class:`FlashArray` owns all :class:`~repro.flash.block.Block` objects and
+keeps incremental totals (free / valid / invalid pages, erase counts) that
+the FTL's garbage collector polls on every write.  It enforces the physical
+rules; *policy* (which block to write, which victim to erase) lives in
+:mod:`repro.ftl`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .block import Block, PageState
+from .config import SSDConfig
+from .geometry import Geometry
+
+__all__ = ["FlashArray"]
+
+
+class FlashArray:
+    """All blocks of one drive, addressed by flat block index / PPN."""
+
+    def __init__(self, config: SSDConfig):
+        self.config = config
+        self.geometry = Geometry(config)
+        self.blocks: List[Block] = [
+            Block(config.pages_per_block) for _ in range(config.total_blocks)
+        ]
+        self.free_pages = config.total_pages
+        self.valid_pages = 0
+        self.invalid_pages = 0
+        self.total_erases = 0
+        self.total_programs = 0
+
+    # ------------------------------------------------------------------
+
+    def block(self, block_global: int) -> Block:
+        return self.blocks[block_global]
+
+    def block_of(self, ppn: int) -> Block:
+        return self.blocks[self.geometry.block_of_ppn(ppn)]
+
+    def state_of(self, ppn: int) -> PageState:
+        return self.block_of(ppn).state_of(self.geometry.page_in_block(ppn))
+
+    def program_in_block(self, block_global: int) -> int:
+        """Program the next page of ``block_global``; return its PPN."""
+        block = self.blocks[block_global]
+        page = block.program_next()
+        self.free_pages -= 1
+        self.valid_pages += 1
+        self.total_programs += 1
+        return self.geometry.first_ppn_of_block(block_global) + page
+
+    def invalidate(self, ppn: int) -> None:
+        """A value copy died at ``ppn`` (out-of-place update or unmap)."""
+        self.block_of(ppn).invalidate(self.geometry.page_in_block(ppn))
+        self.valid_pages -= 1
+        self.invalid_pages += 1
+
+    def revive(self, ppn: int) -> None:
+        """Dead-value-pool hit: turn the garbage page back to valid."""
+        self.block_of(ppn).revive(self.geometry.page_in_block(ppn))
+        self.invalid_pages -= 1
+        self.valid_pages += 1
+
+    def erase(self, block_global: int) -> int:
+        """Erase a block (must hold no valid pages); return pages reclaimed."""
+        block = self.blocks[block_global]
+        reclaimed = block.write_pointer
+        invalid = block.invalid_count
+        block.erase()
+        self.free_pages += reclaimed
+        self.invalid_pages -= invalid
+        self.total_erases += 1
+        return reclaimed
+
+    # ------------------------------------------------------------------
+
+    def free_fraction(self) -> float:
+        """Free pages as a fraction of raw capacity (GC trigger input)."""
+        return self.free_pages / self.config.total_pages
+
+    def check_invariants(self) -> None:
+        """Recompute totals from scratch and compare (test hook)."""
+        free = valid = invalid = 0
+        for block in self.blocks:
+            block.check_invariants()
+            valid += block.valid_count
+            invalid += block.invalid_count
+            free += block.pages_per_block - block.write_pointer
+        assert free == self.free_pages, "free_pages out of sync"
+        assert valid == self.valid_pages, "valid_pages out of sync"
+        assert invalid == self.invalid_pages, "invalid_pages out of sync"

@@ -1,0 +1,125 @@
+"""Per-block flash state: page validity, write pointer, erase wear.
+
+NAND constraints enforced here (Section IV-B of the paper):
+
+* pages within a block are programmed strictly in order (the write pointer);
+* a programmed page cannot be reprogrammed until the whole block is erased;
+* erase resets every page to FREE and increments the wear counter.
+
+Validity transitions are the raw material of the whole study: a page going
+``VALID → INVALID`` is exactly the paper's "death" of a value copy, and the
+dead-value pool's revival flips it back ``INVALID → VALID`` without any
+flash operation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List
+
+__all__ = ["PageState", "Block"]
+
+
+class PageState(Enum):
+    FREE = 0
+    VALID = 1
+    INVALID = 2
+
+
+class Block:
+    """One erase block: an ordered array of page states plus counters."""
+
+    __slots__ = (
+        "pages_per_block",
+        "states",
+        "write_pointer",
+        "valid_count",
+        "invalid_count",
+        "erase_count",
+    )
+
+    def __init__(self, pages_per_block: int):
+        if pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        self.pages_per_block = pages_per_block
+        self.states: List[PageState] = [PageState.FREE] * pages_per_block
+        self.write_pointer = 0
+        self.valid_count = 0
+        self.invalid_count = 0
+        self.erase_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def free_pages(self) -> int:
+        return self.pages_per_block - self.write_pointer
+
+    @property
+    def is_full(self) -> bool:
+        return self.write_pointer >= self.pages_per_block
+
+    def state_of(self, page: int) -> PageState:
+        return self.states[page]
+
+    def program_next(self) -> int:
+        """Program the next free page as VALID; return its in-block index."""
+        if self.is_full:
+            raise RuntimeError("programming a full block")
+        page = self.write_pointer
+        self.states[page] = PageState.VALID
+        self.write_pointer += 1
+        self.valid_count += 1
+        return page
+
+    def invalidate(self, page: int) -> None:
+        """VALID → INVALID: the copy stored here just died."""
+        if self.states[page] is not PageState.VALID:
+            raise RuntimeError(
+                f"invalidating page {page} in state {self.states[page].name}"
+            )
+        self.states[page] = PageState.INVALID
+        self.valid_count -= 1
+        self.invalid_count += 1
+
+    def revive(self, page: int) -> None:
+        """INVALID → VALID: a dead-value-pool hit resurrected this page."""
+        if self.states[page] is not PageState.INVALID:
+            raise RuntimeError(
+                f"reviving page {page} in state {self.states[page].name}"
+            )
+        self.states[page] = PageState.VALID
+        self.invalid_count -= 1
+        self.valid_count += 1
+
+    def erase(self) -> None:
+        """Erase the block; only legal when no valid data remains."""
+        if self.valid_count != 0:
+            raise RuntimeError("erasing a block that still holds valid pages")
+        self.states = [PageState.FREE] * self.pages_per_block
+        self.write_pointer = 0
+        self.valid_count = 0
+        self.invalid_count = 0
+        self.erase_count += 1
+
+    def valid_page_indexes(self) -> List[int]:
+        """In-block indexes of VALID pages (relocation set during GC)."""
+        return [
+            i for i, s in enumerate(self.states[: self.write_pointer])
+            if s is PageState.VALID
+        ]
+
+    def invalid_page_indexes(self) -> List[int]:
+        return [
+            i for i, s in enumerate(self.states[: self.write_pointer])
+            if s is PageState.INVALID
+        ]
+
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` on inconsistent counters (test hook)."""
+        valid = sum(1 for s in self.states if s is PageState.VALID)
+        invalid = sum(1 for s in self.states if s is PageState.INVALID)
+        assert valid == self.valid_count, "valid_count out of sync"
+        assert invalid == self.invalid_count, "invalid_count out of sync"
+        assert valid + invalid <= self.write_pointer, "programmed-count mismatch"
+        for i in range(self.write_pointer, self.pages_per_block):
+            assert self.states[i] is PageState.FREE, "free tail violated"

@@ -1,0 +1,117 @@
+"""Physical address arithmetic: PPN ↔ (channel, chip, die, plane, block, page).
+
+A Physical Page Number (PPN) is a dense integer over the whole drive.  The
+layout is plane-major within a block: consecutive PPNs inside one block are
+consecutive pages of that block, and blocks are numbered plane by plane.
+This keeps "which chip does this page live on" a cheap divmod, which the
+simulator asks constantly when charging latencies to chip timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SSDConfig
+
+__all__ = ["PageAddress", "Geometry"]
+
+
+@dataclass(frozen=True)
+class PageAddress:
+    """Fully decoded physical location of one flash page."""
+
+    channel: int
+    chip: int          # chip index within its channel
+    die: int           # die index within its chip
+    plane: int         # plane index within its die
+    block: int         # block index within its plane
+    page: int          # page index within its block
+
+    @property
+    def chip_global(self) -> int:
+        """Flat chip index used by the per-chip timelines (filled by
+        :class:`Geometry`, which knows chips_per_channel)."""
+        raise AttributeError(
+            "use Geometry.chip_of_ppn for the flat chip index"
+        )
+
+
+class Geometry:
+    """Address codec for a given :class:`SSDConfig`."""
+
+    def __init__(self, config: SSDConfig):
+        self.config = config
+        self.pages_per_block = config.pages_per_block
+        self.blocks_per_plane = config.blocks_per_plane
+        self.pages_per_plane = self.pages_per_block * self.blocks_per_plane
+        self.planes_per_chip = config.planes_per_chip
+        self.pages_per_chip = self.pages_per_plane * self.planes_per_chip
+        self.total_pages = config.total_pages
+        self.total_blocks = config.total_blocks
+        self.total_planes = config.total_planes
+
+    # ------------------------------------------------------------------
+    # PPN codec
+    # ------------------------------------------------------------------
+
+    def ppn_of(self, plane_global: int, block: int, page: int) -> int:
+        """Compose a PPN from a flat plane index, block-in-plane and page."""
+        if not 0 <= plane_global < self.total_planes:
+            raise ValueError(f"plane {plane_global} out of range")
+        if not 0 <= block < self.blocks_per_plane:
+            raise ValueError(f"block {block} out of range")
+        if not 0 <= page < self.pages_per_block:
+            raise ValueError(f"page {page} out of range")
+        return (
+            plane_global * self.pages_per_plane
+            + block * self.pages_per_block
+            + page
+        )
+
+    def split_ppn(self, ppn: int) -> tuple[int, int, int]:
+        """Decompose a PPN into (flat plane, block-in-plane, page-in-block)."""
+        if not 0 <= ppn < self.total_pages:
+            raise ValueError(f"PPN {ppn} out of range")
+        plane_global, rest = divmod(ppn, self.pages_per_plane)
+        block, page = divmod(rest, self.pages_per_block)
+        return plane_global, block, page
+
+    def block_of_ppn(self, ppn: int) -> int:
+        """Flat block index (dense over the drive) of a PPN."""
+        return ppn // self.pages_per_block
+
+    def page_in_block(self, ppn: int) -> int:
+        return ppn % self.pages_per_block
+
+    def first_ppn_of_block(self, block_global: int) -> int:
+        if not 0 <= block_global < self.total_blocks:
+            raise ValueError(f"block {block_global} out of range")
+        return block_global * self.pages_per_block
+
+    def plane_of_block(self, block_global: int) -> int:
+        """Flat plane index that owns a flat block index."""
+        return block_global // self.blocks_per_plane
+
+    def block_in_plane(self, block_global: int) -> int:
+        return block_global % self.blocks_per_plane
+
+    def chip_of_ppn(self, ppn: int) -> int:
+        """Flat chip index (0 .. total_chips-1) holding this PPN."""
+        return ppn // self.pages_per_chip
+
+    def chip_of_block(self, block_global: int) -> int:
+        return self.first_ppn_of_block(block_global) // self.pages_per_chip
+
+    def channel_of_chip(self, chip_global: int) -> int:
+        return chip_global // self.config.chips_per_channel
+
+    def decode(self, ppn: int) -> PageAddress:
+        """Full decode, mainly for debugging and reports."""
+        plane_global, block, page = self.split_ppn(ppn)
+        chip_global, plane_in_chip = divmod(plane_global, self.planes_per_chip)
+        die, plane = divmod(plane_in_chip, self.config.planes_per_die)
+        channel, chip = divmod(chip_global, self.config.chips_per_channel)
+        return PageAddress(
+            channel=channel, chip=chip, die=die, plane=plane,
+            block=block, page=page,
+        )

@@ -1,0 +1,124 @@
+"""Page allocation: active blocks, per-plane free lists, channel striping.
+
+Writes are striped round-robin across planes (and therefore channels and
+chips) so independent requests land on independent resources — the
+"dynamic allocation" scheme SSDSim uses to expose internal parallelism.
+GC relocations stay inside the victim's plane, which is how real drives
+avoid cross-channel copy traffic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from ..flash.array import FlashArray
+
+__all__ = ["OutOfSpaceError", "PageAllocator"]
+
+
+class OutOfSpaceError(RuntimeError):
+    """Raised when a plane has neither free pages nor reclaimable garbage."""
+
+
+class PageAllocator:
+    """Tracks one active block per plane and the free-block lists."""
+
+    def __init__(self, array: FlashArray):
+        self.array = array
+        geometry = array.geometry
+        self._planes = geometry.total_planes
+        self._blocks_per_plane = geometry.blocks_per_plane
+        # Free blocks per plane, as flat block indexes.
+        self.free_blocks: List[Deque[int]] = []
+        for plane in range(self._planes):
+            base = plane * self._blocks_per_plane
+            self.free_blocks.append(
+                deque(range(base, base + self._blocks_per_plane))
+            )
+        # Separate append points for host data and GC relocations: mixing
+        # hot host writes with cold relocated pages in one block is the
+        # classic write-amplification trap, so each plane keeps two active
+        # blocks (SSDSim's hot/cold separation).
+        self._active: List[Optional[int]] = [None] * self._planes
+        self._active_gc: List[Optional[int]] = [None] * self._planes
+        self._next_plane = 0
+
+    # ------------------------------------------------------------------
+
+    def free_block_count(self, plane: int) -> int:
+        return len(self.free_blocks[plane])
+
+    def active_block(self, plane: int) -> Optional[int]:
+        """The block currently accepting writes in ``plane`` (may be None)."""
+        return self._active[plane]
+
+    def writable_pages(self, plane: int) -> int:
+        """Pages still programmable in ``plane`` without reclaiming space:
+        both active blocks' free tails plus all free-listed blocks."""
+        pages = len(self.free_blocks[plane]) * self.array.config.pages_per_block
+        for actives in (self._active, self._active_gc):
+            block = actives[plane]
+            if block is not None:
+                pages += self.array.block(block).free_pages
+        return pages
+
+    def plane_of_next_write(self) -> int:
+        """Which plane the next host write will be striped to."""
+        return self._next_plane
+
+    def _open_block(self, plane: int, actives: List[Optional[int]]) -> int:
+        if not self.free_blocks[plane]:
+            raise OutOfSpaceError(f"plane {plane} has no free blocks")
+        block = self.free_blocks[plane].popleft()
+        actives[plane] = block
+        return block
+
+    def allocate(self) -> int:
+        """Program one host page on the round-robin plane; return its PPN."""
+        plane = self._next_plane
+        self._next_plane = (self._next_plane + 1) % self._planes
+        return self.allocate_in_plane(plane)
+
+    def allocate_in_plane(self, plane: int, for_gc: bool = False) -> int:
+        """Program one page in a specific plane.
+
+        ``for_gc`` selects the plane's relocation block, so cold relocated
+        pages never share a block with fresh host data (the hot/cold
+        separation real FTLs use to keep write amplification down).
+        """
+        actives = self._active_gc if for_gc else self._active
+        block = actives[plane]
+        if block is None or self.array.block(block).is_full:
+            block = self._open_block(plane, actives)
+        ppn = self.array.program_in_block(block)
+        if self.array.block(block).is_full:
+            actives[plane] = None
+        return ppn
+
+    def release_block(self, block_global: int) -> None:
+        """Return an erased block to its plane's free list."""
+        plane = self.array.geometry.plane_of_block(block_global)
+        self.free_blocks[plane].append(block_global)
+
+    def is_active(self, block_global: int) -> bool:
+        plane = self.array.geometry.plane_of_block(block_global)
+        return (
+            self._active[plane] == block_global
+            or self._active_gc[plane] == block_global
+        )
+
+    def check_invariants(self) -> None:
+        """Free-listed blocks must be fully erased; actives must be open."""
+        for plane, blocks in enumerate(self.free_blocks):
+            for block in blocks:
+                b = self.array.block(block)
+                assert b.write_pointer == 0, (
+                    f"free-listed block {block} has programmed pages"
+                )
+        for actives in (self._active, self._active_gc):
+            for plane, block in enumerate(actives):
+                if block is not None:
+                    assert not self.array.block(block).is_full, (
+                        f"active block {block} is full"
+                    )

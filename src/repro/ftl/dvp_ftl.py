@@ -1,0 +1,154 @@
+"""Factories assembling the paper's studied systems (Section V-A).
+
+Each factory wires an FTL variant to the right dead-value pool and GC
+policy.  The string registry :data:`SYSTEMS` is what the experiment runner
+and the benchmarks select systems by.
+
+===================  ========================================================
+Name                 Composition
+===================  ========================================================
+``baseline``         plain FTL, greedy GC, no content machinery
+``lru-dvp``          FTL + LRU dead-value pool (Section III-A strawman)
+``mq-dvp``           FTL + MQ dead-value pool + popularity-aware GC (proposal)
+``ideal``            FTL + infinite dead-value pool (upper bound)
+``lxssd``            FTL + LBA-recency pool, read+write popularity (prior art)
+``dedup``            deduplicating FTL, no pool
+``dvp+dedup``        deduplicating FTL + MQ pool + popularity-aware GC
+``adaptive-dvp``     FTL + self-sizing MQ pool (the paper's future work)
+===================  ========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..core.adaptive import AdaptiveMQDeadValuePool
+from ..core.dvp import (
+    InfiniteDeadValuePool,
+    LBARecencyPool,
+    LRUDeadValuePool,
+    MQDeadValuePool,
+)
+from ..flash.config import SSDConfig
+from .dedup import DedupFTL
+from .ftl import BaseFTL
+
+__all__ = [
+    "make_baseline",
+    "make_lru_dvp",
+    "make_mq_dvp",
+    "make_ideal",
+    "make_lxssd",
+    "make_adaptive_dvp",
+    "make_dedup",
+    "make_dvp_dedup",
+    "SYSTEMS",
+    "build_system",
+]
+
+#: The paper's default pool: 8 queues, 200K entries ≈ 5MB (Section V-A).
+DEFAULT_NUM_QUEUES = 8
+
+
+def make_baseline(config: SSDConfig) -> BaseFTL:
+    """The baseline system: no dead-value pool, greedy GC."""
+    return BaseFTL(config)
+
+
+def make_lru_dvp(config: SSDConfig, pool_entries: int) -> BaseFTL:
+    """FTL with the recency-only pool of Figure 5."""
+    return BaseFTL(config, pool=LRUDeadValuePool(pool_entries))
+
+
+def make_mq_dvp(
+    config: SSDConfig,
+    pool_entries: int,
+    num_queues: int = DEFAULT_NUM_QUEUES,
+    popularity_aware_gc: bool = True,
+    gc_weight: float = 1.0,
+) -> BaseFTL:
+    """The proposal: MQ dead-value pool plus popularity-aware GC."""
+    return BaseFTL(
+        config,
+        pool=MQDeadValuePool(pool_entries, num_queues=num_queues),
+        popularity_aware_gc=popularity_aware_gc,
+        gc_weight=gc_weight,
+    )
+
+
+def make_ideal(config: SSDConfig) -> BaseFTL:
+    """Infinite pool: the maximum achievable gain, not implementable."""
+    return BaseFTL(config, pool=InfiniteDeadValuePool())
+
+
+def make_lxssd(config: SSDConfig, pool_entries: int) -> BaseFTL:
+    """LX-SSD (Zhou et al., MSST 2017) as characterised by the paper."""
+    return BaseFTL(
+        config,
+        pool=LBARecencyPool(pool_entries),
+        combine_read_popularity=True,
+    )
+
+
+def make_adaptive_dvp(
+    config: SSDConfig,
+    pool_entries: int,
+    num_queues: int = DEFAULT_NUM_QUEUES,
+    popularity_aware_gc: bool = True,
+) -> BaseFTL:
+    """The future-work variant: the MQ pool resizes itself to the workload
+    (starts at a quarter of the given budget, may grow to it)."""
+    pool = AdaptiveMQDeadValuePool(
+        initial_entries=max(64, pool_entries // 4),
+        min_entries=64,
+        max_entries=pool_entries,
+        num_queues=num_queues,
+    )
+    return BaseFTL(
+        config, pool=pool, popularity_aware_gc=popularity_aware_gc
+    )
+
+
+def make_dedup(config: SSDConfig) -> DedupFTL:
+    """Deduplicated SSD, no garbage recycling."""
+    return DedupFTL(config)
+
+
+def make_dvp_dedup(
+    config: SSDConfig,
+    pool_entries: int,
+    num_queues: int = DEFAULT_NUM_QUEUES,
+    gc_weight: float = 1.0,
+) -> DedupFTL:
+    """DVP+Dedup: the combined system of Section VII."""
+    return DedupFTL(
+        config,
+        pool=MQDeadValuePool(pool_entries, num_queues=num_queues),
+        popularity_aware_gc=True,
+        gc_weight=gc_weight,
+    )
+
+
+#: name → factory(config, pool_entries) used by the experiment harness.
+#: Factories that take no pool size ignore the argument.
+SYSTEMS: Dict[str, Callable[[SSDConfig, int], BaseFTL]] = {
+    "baseline": lambda cfg, n: make_baseline(cfg),
+    "lru-dvp": make_lru_dvp,
+    "mq-dvp": make_mq_dvp,
+    "ideal": lambda cfg, n: make_ideal(cfg),
+    "lxssd": make_lxssd,
+    "adaptive-dvp": make_adaptive_dvp,
+    "dedup": lambda cfg, n: make_dedup(cfg),
+    "dvp+dedup": make_dvp_dedup,
+}
+
+
+def build_system(name: str, config: SSDConfig, pool_entries: int) -> BaseFTL:
+    """Instantiate a studied system by registry name."""
+    try:
+        factory = SYSTEMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown system {name!r}; choose from {sorted(SYSTEMS)}"
+        ) from None
+    return factory(config, pool_entries)

@@ -1,0 +1,395 @@
+"""The Flash Translation Layer, with optional dead-value pool integration.
+
+:class:`BaseFTL` implements the paper's FTL (Section IV): page-level
+LPN→PPN mapping, out-of-place updates, watermark-driven garbage collection
+and — when constructed with a :class:`~repro.core.dvp.DeadValuePool` — the
+full MQ-DVP write/update/eviction/GC protocol of Section IV-C/D:
+
+* **Writes**: the content hash is computed and looked up in the pool; on a
+  hit, the matching garbage page is flipped back to valid and the LPN is
+  remapped to it — the program operation is skipped entirely.  On a miss
+  the write takes the normal path.  Popularity is updated either way.
+* **Updates**: the page previously mapped at the LPN is invalidated and its
+  (hash, PPN, popularity) inserted into the pool.
+* **GC**: erasing a block removes its garbage pages from the pool; victim
+  selection can be made popularity-aware (Section IV-D) so blocks rich in
+  popular garbage are spared.
+
+Systems from the paper map onto constructor arguments (see
+:mod:`repro.ftl.dvp_ftl` for ready-made factories): Baseline has no pool;
+MQ-DVP uses :class:`MQDeadValuePool`; Ideal uses the infinite pool; LX-SSD
+uses the LBA-recency pool with combined read+write popularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.dvp import DeadValuePool
+from ..core.hashing import Fingerprint
+from ..flash.array import FlashArray
+from ..flash.config import SSDConfig
+from .allocator import PageAllocator
+from .gc import (
+    GarbageCollector,
+    GCWork,
+    GreedyVictimPolicy,
+    PopularityAwareVictimPolicy,
+)
+from .mapping import MappingTable, POPULARITY_MAX
+from .wear import WearTracker
+
+__all__ = ["FTLCounters", "WriteOutcome", "ReadOutcome", "BaseFTL"]
+
+
+@dataclass
+class FTLCounters:
+    """Everything the evaluation section reports, counted exactly once."""
+
+    host_writes: int = 0
+    host_reads: int = 0
+    programs: int = 0            # actual flash page programs (host data)
+    short_circuits: int = 0      # writes served by reviving garbage (DVP)
+    dedup_hits: int = 0          # writes removed by live-value dedup
+    invalidations: int = 0       # value deaths (pages turned to garbage)
+    host_trims: int = 0
+    flash_reads: int = 0
+    gc_relocations: int = 0      # GC valid-page moves (each = read+program)
+    gc_erases: int = 0
+
+    @property
+    def total_programs(self) -> int:
+        """Host programs plus GC relocation programs (drive write traffic)."""
+        return self.programs + self.gc_relocations
+
+    @property
+    def write_reduction_vs(self) -> float:
+        raise AttributeError("use experiments.comparison helpers")
+
+
+@dataclass
+class WriteOutcome:
+    """What one host write physically did (the simulator prices this)."""
+
+    lpn: int
+    hashed: bool = False
+    short_circuited: bool = False
+    dedup_hit: bool = False
+    program_ppn: Optional[int] = None
+    revived_ppn: Optional[int] = None
+    #: PPN read back to byte-verify a hash match (set when verify_hits).
+    verify_read_ppn: Optional[int] = None
+    #: Translation-page traffic (only the demand-paged DFTL variant sets
+    #: these; see repro.ftl.dftl).
+    translation_reads: int = 0
+    translation_writes: int = 0
+    gc: GCWork = field(default_factory=GCWork)
+
+    @property
+    def programmed(self) -> bool:
+        return self.program_ppn is not None
+
+
+@dataclass
+class ReadOutcome:
+    """What one host read physically did."""
+
+    lpn: int
+    ppn: Optional[int]   # None → LPN unmapped, served from the zero page
+    translation_reads: int = 0
+    translation_writes: int = 0
+
+    @property
+    def flash_read(self) -> bool:
+        return self.ppn is not None
+
+
+class BaseFTL:
+    """Page-mapping FTL with optional dead-value pool.
+
+    Parameters
+    ----------
+    config:
+        Drive geometry and timing.
+    pool:
+        Dead-value pool, or ``None`` for the baseline system.
+    popularity_aware_gc:
+        Use the Section IV-D victim metric instead of plain greedy.
+    gc_weight:
+        Popularity penalty weight of the popularity-aware policy.
+    combine_read_popularity:
+        Feed read+write popularity into pool insertions — the LX-SSD
+        behaviour the paper critiques; the proposal tracks writes only
+        (footnote 3).
+    wear_levelling:
+        Apply the static wear-levelling guard during victim selection
+        (blocks far above the mean erase count are deprioritised).
+    verify_hits:
+        Read the matching page back and byte-compare before trusting a
+        16B-hash match (CAFTL's collision safety).  Adds one flash read
+        to every revival and dedup hit; the paper assumes collision-free
+        hashes, so this is off by default.
+    """
+
+    def __init__(
+        self,
+        config: SSDConfig,
+        pool: Optional[DeadValuePool] = None,
+        popularity_aware_gc: bool = False,
+        gc_weight: float = 1.0,
+        combine_read_popularity: bool = False,
+        wear_levelling: bool = False,
+        wear_guard_margin: int = 8,
+        verify_hits: bool = False,
+    ):
+        self.config = config
+        self.array = FlashArray(config)
+        self.allocator = PageAllocator(self.array)
+        self.mapping = MappingTable()
+        self.pool = pool
+        self.combine_read_popularity = combine_read_popularity
+        policy = (
+            PopularityAwareVictimPolicy(gc_weight)
+            if popularity_aware_gc
+            else GreedyVictimPolicy()
+        )
+        self.wear = WearTracker(self.array, guard_margin=wear_guard_margin)
+        self.gc = GarbageCollector(
+            self.array,
+            self.allocator,
+            policy,
+            delegate=self,
+            garbage_popularity_of=self._block_garbage_popularity,
+            wear_guard=self.wear.allows_erase if wear_levelling else None,
+        )
+        self.verify_hits = verify_hits
+        if pool is not None:
+            pool.drop_listener = self._clear_garbage_pop
+        self.counters = FTLCounters()
+        self.write_clock = 0
+        # Content bookkeeping: fingerprint stored at each programmed PPN.
+        self._ppn_fp: Dict[int, Fingerprint] = {}
+        # Exact per-value write popularity, saturating at the 1-byte budget
+        # the paper allots in the LPN-to-PPN table (Section IV-C).
+        self._write_popularity: Dict[Fingerprint, int] = {}
+        self._read_popularity: Dict[Fingerprint, int] = {}
+        # Popularity mass of pool-tracked garbage, per block (GC metric).
+        self._block_garbage_pop: Dict[int, int] = {}
+        self._garbage_pop_of_ppn: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def content_aware(self) -> bool:
+        """Whether writes pay the hashing latency (any content machinery)."""
+        return self.pool is not None
+
+    def fingerprint_at(self, ppn: int) -> Optional[Fingerprint]:
+        return self._ppn_fp.get(ppn)
+
+    def write_popularity_of(self, fp: Fingerprint) -> int:
+        return self._write_popularity.get(fp, 0)
+
+    def _block_garbage_popularity(self, block_global: int) -> int:
+        return self._block_garbage_pop.get(block_global, 0)
+
+    # ------------------------------------------------------------------
+    # Host operations
+    # ------------------------------------------------------------------
+
+    def write(self, lpn: int, fp: Fingerprint) -> WriteOutcome:
+        """Service one 4KB host write of content ``fp`` at ``lpn``."""
+        self._check_lpn(lpn)
+        self.write_clock += 1
+        self.counters.host_writes += 1
+        popularity = self._bump_write_popularity(fp)
+        self.mapping.set_popularity(lpn, popularity)
+        outcome = WriteOutcome(lpn=lpn, hashed=self.content_aware)
+        self._handle_write(lpn, fp, outcome)
+        return outcome
+
+    def _handle_write(
+        self, lpn: int, fp: Fingerprint, outcome: WriteOutcome
+    ) -> None:
+        """Invalidate the old copy, then place the new data.  The dedup FTL
+        overrides this to consult its live fingerprint store first."""
+        self._invalidate_lpn(lpn)
+        self._service_write(lpn, fp, outcome)
+
+    def _service_write(
+        self, lpn: int, fp: Fingerprint, outcome: WriteOutcome
+    ) -> None:
+        """Place the new data: revive from the pool, or program a page.
+
+        Subclasses (the dedup FTL) extend this with a live-value check.
+        """
+        revived = None
+        if self.pool is not None:
+            revived = self.pool.lookup_for_write(fp, self.write_clock)
+        if revived is not None:
+            self._revive(lpn, revived, outcome)
+            outcome.short_circuited = True
+            outcome.revived_ppn = revived
+        else:
+            outcome.program_ppn = self._program(lpn, fp, outcome)
+
+    def trim(self, lpn: int) -> None:
+        """Host discard: drop ``lpn``'s mapping.
+
+        The freed physical page becomes garbage — and, with a dead-value
+        pool, its content stays *revivable*: a later write of the same
+        data can still resurrect the trimmed page.  This is TRIM's natural
+        interaction with the paper's mechanism (not evaluated there).
+        """
+        self._check_lpn(lpn)
+        self.counters.host_trims += 1
+        self._invalidate_lpn(lpn)
+
+    def read(self, lpn: int) -> ReadOutcome:
+        """Service one 4KB host read."""
+        self._check_lpn(lpn)
+        self.counters.host_reads += 1
+        ppn = self.mapping.lookup(lpn)
+        if ppn is not None:
+            self.counters.flash_reads += 1
+            if self.combine_read_popularity:
+                fp = self._ppn_fp.get(ppn)
+                if fp is not None:
+                    count = self._read_popularity.get(fp, 0) + 1
+                    self._read_popularity[fp] = min(count, POPULARITY_MAX)
+        return ReadOutcome(lpn=lpn, ppn=ppn)
+
+    # ------------------------------------------------------------------
+    # Write-path mechanics
+    # ------------------------------------------------------------------
+
+    def _check_lpn(self, lpn: int) -> None:
+        if not 0 <= lpn < self.config.logical_pages:
+            raise ValueError(
+                f"LPN {lpn} outside exported capacity "
+                f"({self.config.logical_pages} pages)"
+            )
+
+    def _bump_write_popularity(self, fp: Fingerprint) -> int:
+        value = min(self._write_popularity.get(fp, 0) + 1, POPULARITY_MAX)
+        self._write_popularity[fp] = value
+        return value
+
+    def _pool_popularity(self, fp: Fingerprint) -> int:
+        """Popularity degree handed to the pool on insertion."""
+        pop = self._write_popularity.get(fp, 1)
+        if self.combine_read_popularity:
+            pop = min(pop + self._read_popularity.get(fp, 0), POPULARITY_MAX)
+        return pop
+
+    def _program(self, lpn: int, fp: Fingerprint, outcome: WriteOutcome) -> int:
+        # Collect *before* allocating, so the target plane always has room
+        # for this write and for any relocations GC itself needs.
+        plane = self.allocator.plane_of_next_write()
+        work = self.gc.maybe_collect(plane)
+        if work.erase_count or work.relocation_count:
+            self.counters.gc_erases += work.erase_count
+            self.counters.gc_relocations += work.relocation_count
+            outcome.gc.merge(work)
+        ppn = self.allocator.allocate()
+        self.mapping.map(lpn, ppn)
+        self._ppn_fp[ppn] = fp
+        self.counters.programs += 1
+        return ppn
+
+    def _revive(self, lpn: int, ppn: int, outcome: WriteOutcome) -> None:
+        """Dead-value-pool hit: garbage page back to life, no program."""
+        if self.verify_hits:
+            # CAFTL-style collision safety: read the page back and
+            # byte-compare before trusting the 16B hash match.
+            outcome.verify_read_ppn = ppn
+            self.counters.flash_reads += 1
+        self.array.revive(ppn)
+        self._clear_garbage_pop(ppn)
+        self.mapping.map(lpn, ppn)
+        self.counters.short_circuits += 1
+
+    def _invalidate_lpn(self, lpn: int) -> None:
+        """Out-of-place update: kill the copy previously mapped at ``lpn``."""
+        old_ppn = self.mapping.unmap(lpn)
+        if old_ppn is None:
+            return
+        if self.mapping.refcount(old_ppn) > 0:
+            # Deduplicated store: other LPNs still point here — no death.
+            return
+        self.array.invalidate(old_ppn)
+        self.counters.invalidations += 1
+        fp = self._ppn_fp.get(old_ppn)
+        if fp is not None:
+            self._on_page_death(old_ppn, fp, lpn)
+
+    def _on_page_death(self, ppn: int, fp: Fingerprint, lpn: int) -> None:
+        """A physical page just became garbage: offer it to the pool."""
+        if self.pool is None:
+            return
+        popularity = self._pool_popularity(fp)
+        dropped = self.pool.insert_garbage(
+            fp, ppn, self.write_clock, popularity=popularity, lpn=lpn
+        )
+        self._add_garbage_pop(ppn, popularity)
+        for dropped_ppn in dropped:
+            # Evicted from the pool: the page stays garbage but its
+            # popularity no longer shields its block from GC.
+            self._clear_garbage_pop(dropped_ppn)
+
+    # ------------------------------------------------------------------
+    # Popularity mass per block (input to popularity-aware GC)
+    # ------------------------------------------------------------------
+
+    def _add_garbage_pop(self, ppn: int, popularity: int) -> None:
+        block = self.array.geometry.block_of_ppn(ppn)
+        self._garbage_pop_of_ppn[ppn] = popularity
+        self._block_garbage_pop[block] = (
+            self._block_garbage_pop.get(block, 0) + popularity
+        )
+
+    def _clear_garbage_pop(self, ppn: int) -> None:
+        popularity = self._garbage_pop_of_ppn.pop(ppn, None)
+        if popularity is None:
+            return
+        block = self.array.geometry.block_of_ppn(ppn)
+        remaining = self._block_garbage_pop.get(block, 0) - popularity
+        if remaining > 0:
+            self._block_garbage_pop[block] = remaining
+        else:
+            self._block_garbage_pop.pop(block, None)
+
+    # ------------------------------------------------------------------
+    # GC delegate protocol (called by GarbageCollector)
+    # ------------------------------------------------------------------
+
+    def relocate_page(self, old_ppn: int, new_ppn: int) -> None:
+        self.mapping.remap_ppn(old_ppn, new_ppn)
+        fp = self._ppn_fp.pop(old_ppn, None)
+        if fp is not None:
+            self._ppn_fp[new_ppn] = fp
+
+    def erase_cleanup(self, block_global: int, invalid_ppns: List[int]) -> None:
+        for ppn in invalid_ppns:
+            fp = self._ppn_fp.pop(ppn, None)
+            if fp is not None and self.pool is not None:
+                self.pool.discard_ppn(fp, ppn)
+            self._clear_garbage_pop(ppn)
+
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Deep cross-structure consistency check (test hook)."""
+        self.array.check_invariants()
+        self.mapping.check_invariants()
+        self.allocator.check_invariants()
+        for ppn in self.mapping.mapped_ppns():
+            from ..flash.block import PageState
+
+            assert self.array.state_of(ppn) is PageState.VALID, (
+                f"mapped PPN {ppn} is not VALID"
+            )
+            assert ppn in self._ppn_fp, f"mapped PPN {ppn} has no fingerprint"

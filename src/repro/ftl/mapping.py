@@ -1,0 +1,110 @@
+"""Page-level address mapping: LPN → PPN, with the paper's popularity byte.
+
+The mapping unit (paper Section IV-B/C, Figure 8) is a page-level table
+from Logical Page Number to Physical Page Number, extended with one byte
+per LPN that persists the write-popularity of the data block mapped there
+so the popularity degree survives dead-value-pool evictions.
+
+The table also supports many-to-one mappings (several LPNs pointing at the
+same PPN) because the deduplicated FTL of Section VII needs reference
+counting; the plain FTL simply keeps every PPN's reference set at size one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+__all__ = ["MappingTable", "POPULARITY_MAX"]
+
+#: The popularity field is 1 byte (Section IV-C), so it saturates at 255.
+POPULARITY_MAX = 255
+
+
+class MappingTable:
+    """LPN→PPN table with reverse index and per-LPN popularity byte."""
+
+    def __init__(self) -> None:
+        self._lpn_to_ppn: Dict[int, int] = {}
+        self._ppn_to_lpns: Dict[int, Set[int]] = {}
+        self._popularity: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Forward mapping
+    # ------------------------------------------------------------------
+
+    def lookup(self, lpn: int) -> Optional[int]:
+        """PPN currently mapped at ``lpn``, or ``None`` if unmapped."""
+        return self._lpn_to_ppn.get(lpn)
+
+    def map(self, lpn: int, ppn: int) -> None:
+        """Point ``lpn`` at ``ppn`` (the LPN must currently be unmapped)."""
+        if lpn in self._lpn_to_ppn:
+            raise RuntimeError(f"LPN {lpn} is already mapped; unmap first")
+        self._lpn_to_ppn[lpn] = ppn
+        self._ppn_to_lpns.setdefault(ppn, set()).add(lpn)
+
+    def unmap(self, lpn: int) -> Optional[int]:
+        """Remove ``lpn``'s mapping; return the PPN it pointed at."""
+        ppn = self._lpn_to_ppn.pop(lpn, None)
+        if ppn is None:
+            return None
+        lpns = self._ppn_to_lpns[ppn]
+        lpns.discard(lpn)
+        if not lpns:
+            del self._ppn_to_lpns[ppn]
+        return ppn
+
+    def remap_ppn(self, old_ppn: int, new_ppn: int) -> int:
+        """Repoint every LPN referencing ``old_ppn`` to ``new_ppn``.
+
+        Used by GC relocation; returns the number of LPNs moved.
+        """
+        lpns = self._ppn_to_lpns.pop(old_ppn, set())
+        for lpn in lpns:
+            self._lpn_to_ppn[lpn] = new_ppn
+        if lpns:
+            self._ppn_to_lpns.setdefault(new_ppn, set()).update(lpns)
+        return len(lpns)
+
+    # ------------------------------------------------------------------
+    # Reverse mapping / reference counts
+    # ------------------------------------------------------------------
+
+    def lpns_of(self, ppn: int) -> Set[int]:
+        """LPNs currently referencing ``ppn`` (copy-safe view)."""
+        return set(self._ppn_to_lpns.get(ppn, ()))
+
+    def refcount(self, ppn: int) -> int:
+        """How many LPNs point at ``ppn`` (dedup keeps this > 1)."""
+        return len(self._ppn_to_lpns.get(ppn, ()))
+
+    def mapped_lpn_count(self) -> int:
+        return len(self._lpn_to_ppn)
+
+    def mapped_ppns(self) -> Iterable[int]:
+        return self._ppn_to_lpns.keys()
+
+    # ------------------------------------------------------------------
+    # Popularity byte (Figure 8)
+    # ------------------------------------------------------------------
+
+    def popularity(self, lpn: int) -> int:
+        return self._popularity.get(lpn, 0)
+
+    def set_popularity(self, lpn: int, value: int) -> None:
+        self._popularity[lpn] = min(max(value, 0), POPULARITY_MAX)
+
+    def bump_popularity(self, lpn: int) -> int:
+        """Saturating increment of ``lpn``'s popularity byte; returns it."""
+        value = min(self._popularity.get(lpn, 0) + 1, POPULARITY_MAX)
+        self._popularity[lpn] = value
+        return value
+
+    def check_invariants(self) -> None:
+        """Forward and reverse tables must agree exactly (test hook)."""
+        for lpn, ppn in self._lpn_to_ppn.items():
+            assert lpn in self._ppn_to_lpns.get(ppn, ()), (
+                f"reverse map missing LPN {lpn} -> PPN {ppn}"
+            )
+        count = sum(len(s) for s in self._ppn_to_lpns.values())
+        assert count == len(self._lpn_to_ppn), "reverse map has stale LPNs"

@@ -1,0 +1,67 @@
+"""Wear accounting and levelling statistics.
+
+Flash blocks endure a limited number of erases (Section I), so every erase
+saved by reviving garbage pages is lifetime gained — Figure 10's erase-count
+reduction is the paper's lifetime claim.  :class:`WearTracker` summarises
+the erase distribution across blocks (total, max, mean, spread) and offers
+the standard wear-levelling guard used by victim policies: refuse blocks
+whose wear is already far above the drive average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..flash.array import FlashArray
+
+__all__ = ["WearStats", "WearTracker"]
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Snapshot of the drive's erase distribution."""
+
+    total_erases: int
+    max_erases: int
+    min_erases: int
+    mean_erases: float
+
+    @property
+    def spread(self) -> int:
+        """Max-min erase gap; small spread = well-levelled wear."""
+        return self.max_erases - self.min_erases
+
+
+class WearTracker:
+    """Reads wear out of the flash array and applies levelling guards."""
+
+    def __init__(self, array: FlashArray, guard_margin: int = 8):
+        if guard_margin < 0:
+            raise ValueError("guard_margin must be non-negative")
+        self.array = array
+        self.guard_margin = guard_margin
+
+    def stats(self) -> WearStats:
+        counts = [b.erase_count for b in self.array.blocks]
+        total = sum(counts)
+        return WearStats(
+            total_erases=total,
+            max_erases=max(counts),
+            min_erases=min(counts),
+            mean_erases=total / len(counts),
+        )
+
+    def erase_histogram(self) -> List[int]:
+        """Per-block erase counts, in flat block order."""
+        return [b.erase_count for b in self.array.blocks]
+
+    def allows_erase(self, block_global: int) -> bool:
+        """Wear-levelling guard: veto blocks far above the drive mean.
+
+        GC may still erase a vetoed block when no alternative exists; the
+        guard only shapes preference, never correctness.
+        """
+        block = self.array.block(block_global)
+        mean = self.array.total_erases / len(self.array.blocks)
+        return block.erase_count <= mean + self.guard_margin

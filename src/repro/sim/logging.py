@@ -1,0 +1,104 @@
+"""Per-request completion logging for post-hoc latency analysis.
+
+The paper reports means and p99s (Figures 11/12); a completion log keeps
+the whole per-request record so the analysis layer can go further: full
+latency CDFs, read-vs-write breakdowns, short-circuit shares over time,
+and GC-stall episode detection (the "short episodes of high latencies"
+of Section VI-B).
+
+Attach a :class:`CompletionLog` to :class:`~repro.sim.ssd.SimulatedSSD`
+and every completed request is recorded; memory is bounded by optional
+reservoir-style downsampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .request import CompletedRequest, OpType
+
+__all__ = ["LoggedRequest", "CompletionLog"]
+
+
+@dataclass(frozen=True)
+class LoggedRequest:
+    """The analysable essentials of one completed request."""
+
+    arrival_us: float
+    finish_us: float
+    op: OpType
+    lpn: int
+    short_circuited: bool
+    dedup_hit: bool
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is OpType.WRITE
+
+
+class CompletionLog:
+    """An append-only request log with optional systematic downsampling.
+
+    ``sample_every=1`` (default) keeps everything; ``sample_every=k``
+    keeps every k-th request — deterministic, so two runs of the same
+    trace log identical subsets.
+    """
+
+    def __init__(self, sample_every: int = 1):
+        if sample_every <= 0:
+            raise ValueError("sample_every must be positive")
+        self.sample_every = sample_every
+        self._records: List[LoggedRequest] = []
+        self._seen = 0
+
+    def record(self, completed: CompletedRequest) -> None:
+        self._seen += 1
+        if (self._seen - 1) % self.sample_every != 0:
+            return
+        request = completed.request
+        self._records.append(
+            LoggedRequest(
+                arrival_us=request.arrival_us,
+                finish_us=completed.finish_us,
+                op=request.op,
+                lpn=request.lpn,
+                short_circuited=completed.short_circuited,
+                dedup_hit=completed.dedup_hit,
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LoggedRequest]:
+        return iter(self._records)
+
+    @property
+    def total_seen(self) -> int:
+        """Requests observed (logged or skipped by sampling)."""
+        return self._seen
+
+    def records(
+        self,
+        op: Optional[OpType] = None,
+        since_us: float = 0.0,
+    ) -> List[LoggedRequest]:
+        """Filtered view: by operation type and/or arrival time."""
+        out = []
+        for record in self._records:
+            if op is not None and record.op is not op:
+                continue
+            if record.arrival_us < since_us:
+                continue
+            out.append(record)
+        return out
+
+    def latencies(self, op: Optional[OpType] = None) -> List[float]:
+        return [r.latency_us for r in self.records(op=op)]

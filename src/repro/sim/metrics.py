@@ -1,0 +1,129 @@
+"""Latency statistics and run-level results.
+
+The evaluation section reports mean and tail (99th percentile) latencies
+for reads and writes separately and combined (Figures 11, 12, 15), plus
+write/erase counts (Figures 9, 10, 14).  :class:`LatencyStats` keeps every
+sample (traces are small enough) so percentiles are exact, and
+:class:`RunResult` bundles the latency views with a snapshot of the FTL
+counters.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ftl.ftl import FTLCounters
+
+__all__ = ["LatencyStats", "RunResult", "percent_improvement"]
+
+
+class LatencyStats:
+    """Exact latency distribution over one request class."""
+
+    def __init__(self) -> None:
+        self._samples: List[float] = []
+        self._sorted: Optional[List[float]] = None
+
+    def record(self, latency_us: float) -> None:
+        if latency_us < 0:
+            raise ValueError("latency must be non-negative")
+        self._samples.append(latency_us)
+        self._sorted = None
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            return 0.0
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile via the nearest-rank method."""
+        if not 0 < p <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if not self._samples:
+            return 0.0
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        rank = max(1, math.ceil(p / 100.0 * len(self._sorted)))
+        return self._sorted[rank - 1]
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    @property
+    def maximum(self) -> float:
+        return max(self._samples) if self._samples else 0.0
+
+    def merged_with(self, other: "LatencyStats") -> "LatencyStats":
+        out = LatencyStats()
+        out._samples = self._samples + other._samples
+        return out
+
+
+@dataclass
+class RunResult:
+    """Everything one simulated run produced."""
+
+    system: str
+    workload: str
+    counters: FTLCounters
+    reads: LatencyStats = field(default_factory=LatencyStats)
+    writes: LatencyStats = field(default_factory=LatencyStats)
+    horizon_us: float = 0.0
+    pool_stats: Optional[Dict[str, float]] = None
+
+    @property
+    def all_requests(self) -> LatencyStats:
+        return self.reads.merged_with(self.writes)
+
+    @property
+    def mean_latency_us(self) -> float:
+        return self.all_requests.mean
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self.all_requests.p99
+
+    @property
+    def flash_writes(self) -> int:
+        """Host-data programs — the paper's "number of writes" metric."""
+        return self.counters.programs
+
+    @property
+    def erases(self) -> int:
+        return self.counters.gc_erases
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict for reports and JSON dumps."""
+        return {
+            "host_writes": self.counters.host_writes,
+            "host_reads": self.counters.host_reads,
+            "flash_writes": self.flash_writes,
+            "total_programs": self.counters.total_programs,
+            "short_circuits": self.counters.short_circuits,
+            "dedup_hits": self.counters.dedup_hits,
+            "gc_relocations": self.counters.gc_relocations,
+            "erases": self.erases,
+            "mean_latency_us": self.mean_latency_us,
+            "p99_latency_us": self.p99_latency_us,
+            "read_mean_us": self.reads.mean,
+            "write_mean_us": self.writes.mean,
+            "horizon_us": self.horizon_us,
+        }
+
+
+def percent_improvement(baseline: float, improved: float) -> float:
+    """The paper's improvement metric: % reduction relative to baseline."""
+    if baseline == 0:
+        return 0.0
+    return 100.0 * (baseline - improved) / baseline

@@ -1,0 +1,53 @@
+"""Host-side request admission: outstanding-request (queue-depth) control.
+
+The trace-driven simulator is open-loop by default: requests enter at their
+trace timestamps regardless of device backlog, which is how SSDSim replays
+traces and how GC stalls become visible as latency.  For stability studies
+and the closed-loop examples, :class:`HostQueue` optionally caps the number
+of outstanding requests: when the cap is reached, the next request is
+admitted only when a slot frees, and its queueing delay counts toward its
+latency (measured from the original arrival).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+__all__ = ["HostQueue"]
+
+
+class HostQueue:
+    """Tracks in-flight completions to enforce an optional queue depth."""
+
+    def __init__(self, depth: Optional[int] = None):
+        if depth is not None and depth <= 0:
+            raise ValueError("queue depth must be positive")
+        self.depth = depth
+        self._completions: List[float] = []  # min-heap of finish times
+        self.max_observed = 0
+
+    def admit(self, arrival_us: float) -> float:
+        """When may a request arriving at ``arrival_us`` start service?
+
+        Unlimited depth: immediately.  Limited: after the oldest in-flight
+        request finishes, if the queue is full at that instant.
+        """
+        heap = self._completions
+        # Retire everything that finished before this arrival.
+        while heap and heap[0] <= arrival_us:
+            heapq.heappop(heap)
+        if self.depth is None or len(heap) < self.depth:
+            return arrival_us
+        # Wait for the earliest completion to free a slot.
+        return heapq.heappop(heap)
+
+    def register(self, finish_us: float) -> None:
+        """Record a newly dispatched request's completion time."""
+        heapq.heappush(self._completions, finish_us)
+        if len(self._completions) > self.max_observed:
+            self.max_observed = len(self._completions)
+
+    def in_flight(self, now_us: float) -> int:
+        """Requests still outstanding at ``now_us`` (diagnostic)."""
+        return sum(1 for t in self._completions if t > now_us)

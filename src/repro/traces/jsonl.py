@@ -1,0 +1,69 @@
+"""JSON-lines trace format: one request per line, self-describing.
+
+The FIU format (:mod:`repro.traces.fiu`) matches the paper's sources; this
+format is for tool interchange — each line is a JSON object with explicit
+keys, so traces survive round trips through jq/pandas/spreadsheets without
+positional-field fragility::
+
+    {"t": 12.5, "op": "W", "lpn": 42, "value": 7}
+
+``value`` is the synthetic content id (omitted for reads where unknown);
+``t`` is the arrival time in microseconds.  Unknown keys are ignored on
+read, so annotated traces load fine.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Iterator, TextIO
+
+from ..sim.request import IORequest, OpType
+
+__all__ = ["JSONLFormatError", "write_jsonl", "iter_jsonl_requests"]
+
+
+class JSONLFormatError(ValueError):
+    """A malformed JSONL trace line."""
+
+
+def write_jsonl(stream: TextIO, requests: Iterable[IORequest]) -> int:
+    """Write a trace as JSON lines; returns the line count."""
+    count = 0
+    for request in requests:
+        record = {
+            "t": request.arrival_us,
+            "op": request.op.value,
+            "lpn": request.lpn,
+            "value": request.value_id,
+        }
+        stream.write(json.dumps(record, separators=(",", ":")))
+        stream.write("\n")
+        count += 1
+    return count
+
+
+def iter_jsonl_requests(stream: TextIO) -> Iterator[IORequest]:
+    """Parse a JSONL trace, skipping blank lines.
+
+    Raises :class:`JSONLFormatError` with the line number on bad input.
+    """
+    for lineno, line in enumerate(stream, start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as exc:
+            raise JSONLFormatError(f"line {lineno}: invalid JSON: {exc}")
+        if not isinstance(record, dict):
+            raise JSONLFormatError(f"line {lineno}: expected an object")
+        try:
+            op = OpType(record["op"])
+            yield IORequest(
+                arrival_us=float(record["t"]),
+                op=op,
+                lpn=int(record["lpn"]),
+                value_id=int(record.get("value", 0)),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise JSONLFormatError(f"line {lineno}: {exc}") from None

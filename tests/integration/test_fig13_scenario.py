@@ -1,0 +1,96 @@
+"""Integration test of the Figure 13 timeline, through the full simulator.
+
+Figure 13's scenario: data block "D" is written at t0; W2 and W3 rewrite
+the same content while D is live (dedup removes them); updates then turn
+D's physical page to garbage at t3; W4 writes D again at t4.
+
+* Dedup alone covers [t0, t3) but must program flash for W4.
+* DVP covers (t3, t4] — W4 revives the garbage page.
+* DVP+Dedup covers both windows.
+"""
+
+import pytest
+
+from repro.ftl.dvp_ftl import build_system
+from repro.sim.request import IORequest, OpType
+from repro.sim.ssd import SimulatedSSD
+
+
+D = 100  # the value id of data block "D"
+
+
+def scenario():
+    """The write sequence of Figure 13 (timestamps far apart to isolate)."""
+    t = iter(range(0, 100_000, 10_000))
+    return [
+        IORequest(float(next(t)), OpType.WRITE, 0, D),    # t0: D created
+        IORequest(float(next(t)), OpType.WRITE, 1, D),    # W2
+        IORequest(float(next(t)), OpType.WRITE, 2, D),    # W3
+        IORequest(float(next(t)), OpType.WRITE, 0, 1),    # updates kill D
+        IORequest(float(next(t)), OpType.WRITE, 1, 2),
+        IORequest(float(next(t)), OpType.WRITE, 2, 3),    # t3: D all-garbage
+        IORequest(float(next(t)), OpType.WRITE, 3, D),    # t4: W4
+    ]
+
+
+def run(system, tiny_config):
+    ftl = build_system(system, tiny_config, 64)
+    device = SimulatedSSD(ftl)
+    completions = [device.submit(req) for req in scenario()]
+    return ftl, completions
+
+
+class TestBaseline:
+    def test_every_write_programs(self, tiny_config):
+        ftl, _ = run("baseline", tiny_config)
+        assert ftl.counters.programs == 7
+
+
+class TestDedupAlone:
+    def test_w2_w3_deduped_but_w4_programs(self, tiny_config):
+        ftl, completions = run("dedup", tiny_config)
+        assert completions[1].dedup_hit and completions[2].dedup_hit
+        w4 = completions[6]
+        assert not w4.dedup_hit and not w4.short_circuited
+        # 5 programs: D, the three updates, and W4 again
+        assert ftl.counters.programs == 5
+
+
+class TestDVPAlone:
+    def test_w4_revived_but_w2_w3_program(self, tiny_config):
+        ftl, completions = run("mq-dvp", tiny_config)
+        # No live dedup: W2/W3 program their own copies of D.
+        assert not completions[1].dedup_hit
+        assert not completions[2].dedup_hit
+        assert ftl.counters.dedup_hits == 0
+        w4 = completions[6]
+        assert w4.short_circuited
+        # Updates killed three copies of D; W4 revives one of them.
+        assert ftl.counters.short_circuits == 1
+
+
+class TestDVPDedup:
+    def test_both_windows_covered(self, tiny_config):
+        ftl, completions = run("dvp+dedup", tiny_config)
+        assert completions[1].dedup_hit and completions[2].dedup_hit
+        w4 = completions[6]
+        assert w4.short_circuited
+        # Only 4 flash programs: D once + the three updates.
+        assert ftl.counters.programs == 4
+
+    def test_w4_faster_than_a_programmed_write(self, tiny_config):
+        _, completions = run("dvp+dedup", tiny_config)
+        t = tiny_config.timing
+        programmed_floor = t.channel_xfer_us + t.program_us
+        assert completions[6].latency_us < programmed_floor
+
+
+class TestCrossSystemWriteCounts:
+    def test_figure13_program_ordering(self, tiny_config):
+        counts = {
+            system: run(system, tiny_config)[0].counters.programs
+            for system in ("baseline", "dedup", "mq-dvp", "dvp+dedup")
+        }
+        assert counts["baseline"] == 7
+        assert counts["dvp+dedup"] < counts["dedup"] < counts["baseline"]
+        assert counts["dvp+dedup"] < counts["mq-dvp"] < counts["baseline"]

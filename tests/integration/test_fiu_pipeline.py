@@ -1,0 +1,72 @@
+"""Integration: generated trace → FIU file → parsed back → simulated.
+
+Proves the whole pipeline also works from on-disk traces in the paper's
+format, and that file round-tripping preserves simulation results exactly.
+"""
+
+import io
+
+import pytest
+
+from repro.experiments.runner import config_for_profile, prefill
+from repro.ftl.dvp_ftl import make_mq_dvp
+from repro.sim.ssd import SimulatedSSD
+from repro.traces.fiu import iter_fiu_requests, write_fiu
+from repro.traces.synthetic import generate_trace
+
+from ..conftest import make_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return make_profile(num_requests=3000, working_set_pages=400)
+
+
+@pytest.fixture(scope="module")
+def trace(profile):
+    return generate_trace(profile)
+
+
+def simulate(profile, requests):
+    ftl = make_mq_dvp(config_for_profile(profile), 256)
+    prefill(ftl, profile)
+    return SimulatedSSD(ftl).run(list(requests)).summary()
+
+
+class TestRoundTripSimulation:
+    def test_fiu_roundtrip_preserves_structure(self, trace):
+        buffer = io.StringIO()
+        write_fiu(buffer, trace)
+        buffer.seek(0)
+        parsed = list(iter_fiu_requests(buffer))
+        assert len(parsed) == len(trace)
+        assert [r.lpn for r in parsed] == [r.lpn for r in trace]
+        assert [r.op for r in parsed] == [r.op for r in trace]
+
+    def test_value_identity_preserved(self, trace):
+        """Interned ids differ from the originals, but equality structure
+        (which requests share content) must be identical."""
+        buffer = io.StringIO()
+        write_fiu(buffer, trace)
+        buffer.seek(0)
+        parsed = list(iter_fiu_requests(buffer))
+        seen_orig, seen_parsed = {}, {}
+        for a, b in zip(trace, parsed):
+            assert seen_orig.setdefault(a.value_id, len(seen_orig)) == \
+                seen_parsed.setdefault(b.value_id, len(seen_parsed))
+
+    def test_simulation_identical_through_file(self, profile, trace, tmp_path):
+        path = tmp_path / "trace.fiu"
+        with open(path, "w") as f:
+            write_fiu(f, trace)
+        with open(path) as f:
+            parsed = list(iter_fiu_requests(f))
+        # Note: interning renumbers values, but the runner's prefill uses
+        # initial_value_of(lpn), which survives digest round-trip only for
+        # trace-internal values; compare counters that depend only on the
+        # trace's internal redundancy structure.
+        direct = simulate(profile, trace)
+        from_file = simulate(profile, parsed)
+        assert from_file["host_writes"] == direct["host_writes"]
+        assert from_file["flash_writes"] == direct["flash_writes"]
+        assert from_file["short_circuits"] == direct["short_circuits"]

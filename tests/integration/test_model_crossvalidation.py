@@ -1,0 +1,77 @@
+"""Cross-validation: the timeline model vs the event-driven model.
+
+The two device models price the same FTL work through entirely different
+mechanisms (analytic FIFO timelines vs an event loop with chip queues).
+Under the FIFO chip policy they must agree: identical physical-operation
+counts (they share the FTL, so exactly), and latency statistics within a
+small tolerance (the event model resolves sub-microsecond interleavings
+the analytic model collapses).
+"""
+
+import pytest
+
+from repro.core.dvp import MQDeadValuePool
+from repro.experiments.runner import config_for_profile, prefill
+from repro.ftl.dedup import DedupFTL
+from repro.ftl.ftl import BaseFTL
+from repro.sim.des_ssd import EventDrivenSSD
+from repro.sim.ssd import SimulatedSSD
+from repro.traces.synthetic import generate_trace
+
+from ..conftest import make_profile
+
+
+@pytest.fixture(scope="module")
+def setup():
+    profile = make_profile(num_requests=6000, working_set_pages=600)
+    return profile, generate_trace(profile), config_for_profile(profile)
+
+
+def build(kind, config):
+    if kind == "baseline":
+        return BaseFTL(config)
+    if kind == "mq-dvp":
+        return BaseFTL(
+            config, pool=MQDeadValuePool(256), popularity_aware_gc=True
+        )
+    if kind == "dedup":
+        return DedupFTL(config)
+    raise ValueError(kind)
+
+
+@pytest.mark.parametrize("system", ["baseline", "mq-dvp", "dedup"])
+class TestCrossValidation:
+    def _run_both(self, setup, system):
+        profile, trace, config = setup
+        ftl_a = build(system, config)
+        prefill(ftl_a, profile)
+        timeline = SimulatedSSD(ftl_a).run(trace)
+        ftl_b = build(system, config)
+        prefill(ftl_b, profile)
+        des = EventDrivenSSD(ftl_b, chip_policy="fifo").run(trace)
+        return timeline, des
+
+    def test_identical_physical_work(self, setup, system):
+        timeline, des = self._run_both(setup, system)
+        for field in ("programs", "short_circuits", "dedup_hits",
+                      "gc_erases", "gc_relocations", "invalidations"):
+            assert getattr(timeline.counters, field) == getattr(
+                des.counters, field
+            ), field
+
+    def test_latency_statistics_agree(self, setup, system):
+        timeline, des = self._run_both(setup, system)
+        assert des.writes.mean == pytest.approx(
+            timeline.writes.mean, rel=0.02
+        )
+        assert des.reads.mean == pytest.approx(
+            timeline.reads.mean, rel=0.02
+        )
+        assert des.writes.p99 == pytest.approx(
+            timeline.writes.p99, rel=0.05
+        )
+
+    def test_request_counts_agree(self, setup, system):
+        timeline, des = self._run_both(setup, system)
+        assert timeline.writes.count == des.writes.count
+        assert timeline.reads.count == des.reads.count

@@ -1,0 +1,105 @@
+"""Property-based tests: random host workloads keep every FTL consistent."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashing import fingerprint_of_value as fp
+from repro.flash.block import PageState
+from repro.flash.config import SSDConfig
+from repro.ftl.dvp_ftl import build_system
+
+
+def small_config() -> SSDConfig:
+    return SSDConfig(
+        channels=2, chips_per_channel=1, dies_per_chip=1, planes_per_die=1,
+        blocks_per_plane=12, pages_per_block=8, overprovision=0.2,
+    )
+
+
+LOGICAL = small_config().logical_pages
+
+# (is_write, lpn, value) streams; value space small to force redundancy.
+workloads = st.lists(
+    st.tuples(
+        st.booleans(),
+        st.integers(min_value=0, max_value=min(40, LOGICAL - 1)),
+        st.integers(min_value=0, max_value=12),
+    ),
+    max_size=250,
+)
+
+
+def drive(system, operations):
+    ftl = build_system(system, small_config(), 16)
+    expected = {}
+    for is_write, lpn, value in operations:
+        if is_write:
+            ftl.write(lpn, fp(value))
+            expected[lpn] = value
+        else:
+            ftl.read(lpn)
+    return ftl, expected
+
+
+SYSTEMS = ["baseline", "lru-dvp", "mq-dvp", "ideal", "lxssd", "dedup",
+           "dvp+dedup"]
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@given(operations=workloads)
+@settings(max_examples=25, deadline=None)
+def test_data_integrity(system, operations):
+    """The fundamental storage property: reads-after-writes see the last
+    written content, under every system, at any point in the op stream."""
+    ftl, expected = drive(system, operations)
+    for lpn, value in expected.items():
+        ppn = ftl.mapping.lookup(lpn)
+        assert ppn is not None, f"{system}: LPN {lpn} lost its mapping"
+        assert ftl.fingerprint_at(ppn) == fp(value), (
+            f"{system}: LPN {lpn} holds wrong content"
+        )
+        assert ftl.array.state_of(ppn) is PageState.VALID
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@given(operations=workloads)
+@settings(max_examples=25, deadline=None)
+def test_structural_invariants(system, operations):
+    ftl, _ = drive(system, operations)
+    ftl.check_invariants()
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+@given(operations=workloads)
+@settings(max_examples=25, deadline=None)
+def test_write_accounting(system, operations):
+    ftl, _ = drive(system, operations)
+    c = ftl.counters
+    writes = sum(1 for w, _, _ in operations if w)
+    assert c.host_writes == writes
+    assert c.programs + c.short_circuits + c.dedup_hits == writes
+    assert c.invalidations <= writes
+
+
+@given(operations=workloads)
+@settings(max_examples=25, deadline=None)
+def test_page_conservation(operations):
+    """free + valid + invalid pages always equals raw capacity."""
+    ftl, _ = drive("mq-dvp", operations)
+    array = ftl.array
+    total = array.free_pages + array.valid_pages + array.invalid_pages
+    assert total == array.config.total_pages
+
+
+@given(operations=workloads)
+@settings(max_examples=25, deadline=None)
+def test_pool_tracks_only_invalid_pages(operations):
+    """Every PPN the MQ pool would revive must currently be INVALID."""
+    ftl, _ = drive("mq-dvp", operations)
+    pool = ftl.pool
+    for q in range(pool.mq.num_queues):
+        for key in pool.mq.keys_in_queue(q):
+            for ppn in pool.mq.get(key).ppns:
+                assert ftl.array.state_of(ppn) is PageState.INVALID
+                assert ftl.fingerprint_at(ppn) == key

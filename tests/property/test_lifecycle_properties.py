@@ -1,0 +1,86 @@
+"""Property-based tests for the life-cycle tracker's conservation laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifecycle import LifecycleTracker
+
+
+streams = st.lists(
+    st.tuples(
+        st.booleans(),                                 # write?
+        st.integers(min_value=0, max_value=30),        # lpn
+        st.integers(min_value=0, max_value=10),        # value
+    ),
+    max_size=300,
+)
+
+
+def replay(operations, dedup=False):
+    tracker = LifecycleTracker(dedup=dedup)
+    for is_write, lpn, value in operations:
+        if is_write:
+            tracker.on_write(lpn, value)
+        else:
+            tracker.on_read(lpn, value)
+    return tracker
+
+
+@given(operations=streams)
+@settings(max_examples=80)
+def test_write_conservation(operations):
+    t = replay(operations)
+    s = t.stats
+    assert s.programs + s.rebirths + s.dedup_eliminated == s.total_writes
+    assert s.total_writes + s.total_reads == s.total_requests
+
+
+@given(operations=streams, dedup=st.booleans())
+@settings(max_examples=80)
+def test_copy_conservation_per_value(operations, dedup):
+    """live + dead copies of a value never go negative and reconcile with
+    its writes/rebirths/invalidations."""
+    t = replay(operations, dedup)
+    for stats in t.values.values():
+        assert stats.live_copies >= 0
+        assert stats.dead_copies >= 0
+        assert stats.rebirths <= stats.invalidations
+        assert stats.dead_copies == stats.invalidations - stats.rebirths
+
+
+@given(operations=streams)
+@settings(max_examples=80)
+def test_deaths_bounded_by_writes(operations):
+    t = replay(operations)
+    assert t.stats.deaths <= t.stats.total_writes
+    assert t.stats.rebirths <= t.stats.deaths
+
+
+@given(operations=streams)
+@settings(max_examples=80)
+def test_dedup_never_reuses_more(operations):
+    plain = replay(operations, dedup=False)
+    dedup = replay(operations, dedup=True)
+    assert dedup.stats.rebirths <= plain.stats.rebirths
+    # dedup can only reduce flash programs
+    assert dedup.stats.programs <= plain.stats.programs
+
+
+@given(operations=streams)
+@settings(max_examples=80)
+def test_live_copies_match_address_space(operations):
+    """Sum of live copies equals the number of mapped logical pages."""
+    t = replay(operations)
+    mapped = len(t._page_content)
+    assert sum(v.live_copies for v in t.values.values()) == mapped
+
+
+@given(operations=streams)
+@settings(max_examples=80)
+def test_intervals_nonnegative(operations):
+    t = replay(operations)
+    for stats in t.values.values():
+        assert stats.creation_to_death_sum >= 0
+        assert stats.death_to_rebirth_sum >= 0
+        if stats.creation_to_death_n:
+            assert stats.mean_creation_to_death >= 0

@@ -1,0 +1,79 @@
+"""Property-based tests for the Multi-Queue algorithm."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.mq import MultiQueue, queue_index_for_popularity
+
+
+@given(
+    popularity=st.integers(min_value=0, max_value=10**6),
+    num_queues=st.integers(min_value=1, max_value=16),
+)
+def test_queue_index_always_in_range(popularity, num_queues):
+    index = queue_index_for_popularity(popularity, num_queues)
+    assert 0 <= index < num_queues
+
+
+@given(
+    pops=st.lists(st.integers(min_value=0, max_value=300), min_size=2),
+)
+def test_queue_index_monotone_in_popularity(pops):
+    """More popular never means a lower target queue."""
+    ordered = sorted(pops)
+    indexes = [queue_index_for_popularity(p, 8) for p in ordered]
+    assert indexes == sorted(indexes)
+
+
+class MQMachine(RuleBasedStateMachine):
+    """Random insert/access/remove/evict sequences keep MQ consistent."""
+
+    def __init__(self):
+        super().__init__()
+        self.mq = MultiQueue(capacity=8, num_queues=4)
+        self.now = 0
+        self.resident = set()
+
+    keys = st.integers(min_value=0, max_value=20)
+
+    @rule(key=keys)
+    def insert_or_access(self, key):
+        self.now += 1
+        if key in self.mq:
+            self.mq.access(key, self.now)
+        else:
+            evicted = self.mq.insert(key, f"payload-{key}", self.now)
+            if evicted is not None:
+                self.resident.discard(evicted[0])
+            self.resident.add(key)
+
+    @rule(key=keys)
+    def remove(self, key):
+        payload = self.mq.remove(key)
+        if payload is not None:
+            self.resident.discard(key)
+
+    @rule()
+    def evict(self):
+        evicted = self.mq.evict_one()
+        if evicted is not None:
+            self.resident.discard(evicted[0])
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.mq) <= 8
+
+    @invariant()
+    def internal_consistency(self):
+        self.mq.check_invariants()
+
+    @invariant()
+    def shadow_set_matches(self):
+        assert self.resident == {
+            k for q in range(4) for k in self.mq.keys_in_queue(q)
+        }
+
+
+TestMQMachine = MQMachine.TestCase
+TestMQMachine.settings = settings(max_examples=40, stateful_step_count=60)

@@ -1,0 +1,137 @@
+"""Property-based tests for all dead-value pool variants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dvp import (
+    InfiniteDeadValuePool,
+    LBARecencyPool,
+    LRUDeadValuePool,
+    MQDeadValuePool,
+)
+from repro.core.hashing import fingerprint_of_value as fp
+
+
+POOL_FACTORIES = {
+    "lru": lambda: LRUDeadValuePool(8),
+    "mq": lambda: MQDeadValuePool(8),
+    "lba": lambda: LBARecencyPool(8),
+    "infinite": InfiniteDeadValuePool,
+}
+
+# An operation stream: (op, value, ppn/lpn payload)
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "discard"]),
+        st.integers(min_value=0, max_value=15),   # value id
+        st.integers(min_value=0, max_value=30),   # lpn
+    ),
+    max_size=120,
+)
+
+
+def run_ops(pool, operations):
+    """Drive a pool with an op stream, mirroring FTL usage patterns.
+
+    Maintains the ground truth: the set of (value, ppn) pairs that are
+    currently dead and tracked nowhere else.  Returns the shadow dict
+    value -> set of live-in-pool ppns according to pool responses.
+    """
+    shadow = {}
+    next_ppn = 0
+    now = 0
+    for op, value, lpn in operations:
+        now += 1
+        if op == "insert":
+            dropped = pool.insert_garbage(
+                fp(value), next_ppn, now, popularity=value + 1, lpn=lpn
+            )
+            shadow.setdefault(value, set()).add(next_ppn)
+            for d in dropped:
+                for ppns in shadow.values():
+                    ppns.discard(d)
+            next_ppn += 1
+        elif op == "lookup":
+            hit = pool.lookup_for_write(fp(value), now)
+            if hit is not None:
+                assert hit in shadow.get(value, set()), (
+                    "pool returned a PPN never inserted for this value"
+                )
+                shadow[value].discard(hit)
+        else:  # discard
+            ppns = shadow.get(value, set())
+            if ppns:
+                target = next(iter(ppns))
+                if pool.discard_ppn(fp(value), target):
+                    ppns.discard(target)
+    return shadow
+
+
+@given(operations=ops)
+@settings(max_examples=60)
+def test_lru_pool_sound(operations):
+    run_ops(LRUDeadValuePool(8), operations)
+
+
+@given(operations=ops)
+@settings(max_examples=60)
+def test_mq_pool_sound(operations):
+    run_ops(MQDeadValuePool(8), operations)
+
+
+@given(operations=ops)
+@settings(max_examples=60)
+def test_lba_pool_sound(operations):
+    run_ops(LBARecencyPool(8), operations)
+
+
+@given(operations=ops)
+@settings(max_examples=60)
+def test_infinite_pool_exact(operations):
+    """The infinite pool tracks the shadow state *exactly*: a lookup hits
+    iff the shadow has a dead copy."""
+    pool = InfiniteDeadValuePool()
+    shadow = {}
+    next_ppn = 0
+    now = 0
+    for op, value, lpn in operations:
+        now += 1
+        if op == "insert":
+            pool.insert_garbage(fp(value), next_ppn, now, lpn=lpn)
+            shadow.setdefault(value, set()).add(next_ppn)
+            next_ppn += 1
+        elif op == "lookup":
+            hit = pool.lookup_for_write(fp(value), now)
+            if shadow.get(value):
+                assert hit in shadow[value]
+                shadow[value].discard(hit)
+            else:
+                assert hit is None
+        else:
+            ppns = shadow.get(value, set())
+            if ppns:
+                target = next(iter(ppns))
+                assert pool.discard_ppn(fp(value), target)
+                ppns.discard(target)
+    assert pool.tracked_ppn_count() == sum(len(s) for s in shadow.values())
+
+
+@given(operations=ops)
+@settings(max_examples=60)
+def test_bounded_pools_never_exceed_capacity(operations):
+    for name, factory in POOL_FACTORIES.items():
+        if name == "infinite":
+            continue
+        pool = factory()
+        run_ops(pool, operations)
+        assert len(pool) <= 8
+
+
+@given(operations=ops)
+@settings(max_examples=60)
+def test_stats_identities(operations):
+    pool = MQDeadValuePool(8)
+    run_ops(pool, operations)
+    stats = pool.stats
+    assert stats.hits + stats.misses == stats.lookups
+    assert stats.hits <= stats.insertions

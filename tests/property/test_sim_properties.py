@@ -1,0 +1,90 @@
+"""Property-based tests for simulator timing semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flash.config import SSDConfig
+from repro.flash.timing import ResourceTimeline
+from repro.ftl.dvp_ftl import build_system
+from repro.sim.request import IORequest, OpType
+from repro.sim.ssd import SimulatedSSD
+
+
+def config() -> SSDConfig:
+    return SSDConfig(
+        channels=2, chips_per_channel=1, dies_per_chip=1, planes_per_die=1,
+        blocks_per_plane=12, pages_per_block=8, overprovision=0.2,
+    )
+
+
+LOGICAL = config().logical_pages
+
+
+request_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        st.booleans(),
+        st.integers(min_value=0, max_value=min(40, LOGICAL - 1)),
+        st.integers(min_value=0, max_value=10),
+    ),
+    max_size=120,
+)
+
+
+def to_trace(raw):
+    raw = sorted(raw, key=lambda r: r[0])
+    return [
+        IORequest(t, OpType.WRITE if w else OpType.READ, lpn, value)
+        for t, w, lpn, value in raw
+    ]
+
+
+@given(raw=request_lists, system=st.sampled_from(["baseline", "mq-dvp", "dedup"]))
+@settings(max_examples=30, deadline=None)
+def test_latencies_nonnegative_and_causal(raw, system):
+    """No request finishes before it arrives, and latency >= service floor
+    for any operation that touched flash."""
+    trace = to_trace(raw)
+    device = SimulatedSSD(build_system(system, config(), 16))
+    timing = config().timing
+    for request in trace:
+        done = device.submit(request)
+        assert done.finish_us >= request.arrival_us
+        assert done.latency_us >= 0.0
+        if request.is_write and not (done.short_circuited or done.dedup_hit):
+            assert done.latency_us >= timing.program_us
+
+
+@given(raw=request_lists)
+@settings(max_examples=30, deadline=None)
+def test_horizon_is_max_finish(raw):
+    trace = to_trace(raw)
+    device = SimulatedSSD(build_system("baseline", config(), 16))
+    finishes = [device.submit(r).finish_us for r in trace]
+    if finishes:
+        assert device.horizon_us == max(finishes)
+
+
+@given(
+    jobs=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=50, allow_nan=False),
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=80)
+def test_timeline_fifo_no_overlap(jobs):
+    """Scheduled intervals on one resource never overlap and never run
+    backwards in time."""
+    timeline = ResourceTimeline("r")
+    jobs = sorted(jobs, key=lambda j: j[0])
+    last_end = 0.0
+    for arrival, duration in jobs:
+        start, end = timeline.schedule(arrival, duration)
+        assert start >= arrival
+        assert start >= last_end
+        assert end == start + duration
+        last_end = end
+    assert timeline.busy_time == sum(d for _, d in jobs)

@@ -1,0 +1,166 @@
+"""Unit tests for the Section II characterisation functions."""
+
+import pytest
+
+from repro.analysis.characterize import (
+    invalidation_cdf,
+    lifecycle_intervals,
+    lru_miss_breakdown,
+    lru_pool_sweep,
+    pool_write_study,
+    reuse_opportunity,
+    run_lifecycle,
+    value_cdfs,
+)
+from repro.core.dvp import InfiniteDeadValuePool, LRUDeadValuePool
+from repro.sim.request import IORequest, OpType
+from repro.traces.synthetic import generate_trace
+
+from ..conftest import make_profile
+
+
+def w(lpn, value, t=0.0):
+    return IORequest(t, OpType.WRITE, lpn, value)
+
+
+def r(lpn, value, t=0.0):
+    return IORequest(t, OpType.READ, lpn, value)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        make_profile(num_requests=20_000, new_value_prob=0.15)
+    )
+
+
+class TestRunLifecycle:
+    def test_counts_requests(self, trace):
+        tracker = run_lifecycle(trace)
+        assert tracker.stats.total_requests == len(trace)
+
+    def test_dedup_mode_plumbs_through(self, trace):
+        assert run_lifecycle(trace, dedup=True).stats.dedup_eliminated > 0
+
+
+class TestReuseOpportunity:
+    def test_dedup_cannot_increase_reuse(self, trace):
+        result = reuse_opportunity(trace, "t")
+        assert 0.0 <= result.with_dedup <= result.without_dedup <= 1.0
+
+    def test_no_redundancy_no_reuse(self):
+        trace = [w(i, i) for i in range(100)]
+        result = reuse_opportunity(trace)
+        assert result.without_dedup == 0.0
+
+    def test_full_redundancy_high_reuse(self):
+        # alternate two values on one page: every write after the second
+        # finds the previous copy dead
+        trace = [w(0, i % 2) for i in range(100)]
+        result = reuse_opportunity(trace)
+        assert result.without_dedup > 0.9
+
+
+class TestInvalidationCDF:
+    def test_fractions_in_range(self, trace):
+        result = invalidation_cdf(run_lifecycle(trace))
+        assert 0.0 <= result.live_value_frac <= 1.0
+        assert 0.0 <= result.never_invalidated_frac <= 1.0
+        assert result.cdf[-1][1] == pytest.approx(1.0)
+
+    def test_majority_of_values_die(self, trace):
+        """The paper's headline: most written pages turn into garbage."""
+        result = invalidation_cdf(run_lifecycle(trace))
+        assert result.never_invalidated_frac < 0.5
+
+
+class TestValueCDFs:
+    def test_shares_monotone(self, trace):
+        cdfs = value_cdfs(run_lifecycle(trace))
+        for series in (cdfs.write_share, cdfs.invalidation_share,
+                       cdfs.rebirth_share):
+            assert all(a <= b + 1e-9 for a, b in zip(series, series[1:]))
+            assert series[-1] == pytest.approx(1.0)
+
+    def test_skew_top20_carries_most_writes(self, trace):
+        cdfs = value_cdfs(run_lifecycle(trace))
+        assert cdfs.share_at("write", 0.2) > 0.5
+        assert cdfs.share_at("rebirth", 0.2) >= cdfs.share_at("write", 0.2) - 0.15
+
+    def test_empty_tracker(self):
+        from repro.core.lifecycle import LifecycleTracker
+
+        cdfs = value_cdfs(LifecycleTracker())
+        assert cdfs.fractions == []
+
+
+class TestLifecycleIntervals:
+    def test_popular_values_reborn_more(self, trace):
+        result = lifecycle_intervals(run_lifecycle(trace))
+        low = min(result.rebirth_counts)
+        high = max(result.rebirth_counts)
+        assert result.rebirth_counts[high] > result.rebirth_counts[low]
+
+    def test_popular_values_die_faster(self, trace):
+        """Figure 4a: higher popularity -> shorter creation-to-death.
+
+        Bucket 1 (write-once values) is skipped: its samples are censored
+        (copies on cold pages never die, so only the hot-page minority
+        contributes), which biases its mean low.
+        """
+        result = lifecycle_intervals(run_lifecycle(trace))
+        buckets = sorted(result.creation_to_death)
+        low_mean = sum(result.creation_to_death[b] for b in buckets[1:4]) / 3
+        high_mean = sum(result.creation_to_death[b] for b in buckets[-3:]) / 3
+        assert high_mean < low_mean
+
+    def test_popular_values_reborn_faster(self, trace):
+        """Figure 4b: higher popularity -> shorter death-to-rebirth."""
+        result = lifecycle_intervals(run_lifecycle(trace))
+        buckets = sorted(result.death_to_rebirth)
+        low_mean = sum(result.death_to_rebirth[b] for b in buckets[:3]) / 3
+        high_mean = sum(result.death_to_rebirth[b] for b in buckets[-3:]) / 3
+        assert high_mean < low_mean
+
+
+class TestPoolWriteStudy:
+    def test_infinite_pool_matches_lifecycle(self, trace):
+        study = pool_write_study(trace, InfiniteDeadValuePool())
+        tracker = run_lifecycle(trace)
+        assert study.short_circuited == tracker.stats.rebirths
+        assert study.total_writes == tracker.stats.total_writes
+        assert study.capacity_miss_total == 0
+
+    def test_bounded_pool_cannot_beat_infinite(self, trace):
+        bounded = pool_write_study(trace, LRUDeadValuePool(64))
+        infinite = pool_write_study(trace, InfiniteDeadValuePool())
+        assert bounded.short_circuited <= infinite.short_circuited
+        assert bounded.serviced_writes >= infinite.serviced_writes
+
+    def test_accounting_identity(self, trace):
+        study = pool_write_study(trace, LRUDeadValuePool(64))
+        assert (
+            study.short_circuited
+            + study.capacity_miss_total
+            + study.compulsory_programs
+            == study.total_writes
+        )
+
+    def test_reads_ignored(self):
+        study = pool_write_study([r(0, 1), r(1, 2)], InfiniteDeadValuePool())
+        assert study.total_writes == 0
+
+
+class TestSweeps:
+    def test_lru_sweep_monotone_in_size(self, trace):
+        results = lru_pool_sweep(trace, [32, 256, 4096])
+        serviced = [
+            results[f"lru-{n}"].serviced_writes for n in (32, 256, 4096)
+        ]
+        assert serviced[0] >= serviced[1] >= serviced[2]
+        assert serviced[2] >= results["infinite"].serviced_writes
+
+    def test_miss_breakdown_keys_are_buckets(self, trace):
+        breakdown = lru_miss_breakdown(trace, pool_size=32, num_buckets=10)
+        assert all(1 <= k <= 10 for k in breakdown)
+        assert any(v > 0 for v in breakdown.values())

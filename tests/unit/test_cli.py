@@ -1,0 +1,114 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "nope", "--system", "baseline"]
+            )
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--workload", "mail", "--system", "nope"]
+            )
+
+    def test_all_figures_registered(self):
+        expected = {
+            "fig01", "fig02", "fig03", "fig04", "fig05", "fig06",
+            "fig09", "fig10", "fig11", "fig12", "fig14", "fig15",
+            "table1", "table2",
+        }
+        assert set(FIGURES) == expected
+
+
+class TestRunCommand:
+    def test_run_prints_summary(self, capsys):
+        code = main([
+            "run", "--workload", "desktop", "--system", "baseline",
+            "--scale", "0.02",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "flash_writes" in out
+        assert "mean_latency_us" in out
+
+    def test_run_json_output(self, capsys):
+        code = main([
+            "run", "--workload", "desktop", "--system", "baseline",
+            "--scale", "0.02", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["host_writes"] > 0
+
+
+class TestCompareCommand:
+    def test_compare_table(self, capsys):
+        code = main([
+            "compare", "--workload", "desktop", "--scale", "0.02",
+            "--systems", "baseline,ideal",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "baseline" in out and "ideal" in out
+
+    def test_compare_unknown_system(self, capsys):
+        code = main([
+            "compare", "--workload", "desktop", "--systems", "baseline,nope",
+        ])
+        assert code == 2
+        assert "unknown systems" in capsys.readouterr().err
+
+
+class TestFigureCommand:
+    def test_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "SSDConfig" in capsys.readouterr().out
+
+    def test_fig02_small_scale(self, capsys):
+        assert main(["figure", "fig02", "--scale", "0.02"]) == 0
+        assert "fig02" in capsys.readouterr().out
+
+
+class TestCharacterizeCommand:
+    def test_characterize(self, capsys):
+        code = main([
+            "characterize", "--workload", "desktop", "--scale", "0.02",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "P(reuse)" in out
+
+
+class TestReplicateCommand:
+    def test_replicate(self, capsys):
+        code = main([
+            "replicate", "--workload", "desktop", "--system", "ideal",
+            "--scale", "0.02", "--seeds", "1,2",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "n=2" in out
+
+
+class TestReportCommand:
+    def test_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(["report", "--scale", "0.02", "--out", str(out)])
+        assert code == 0
+        text = out.read_text()
+        assert "Figure 9" in text
+        assert "Paper vs measured" in text
+        assert "wrote" in capsys.readouterr().out

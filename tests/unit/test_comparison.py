@@ -1,0 +1,55 @@
+"""Unit tests for the paper-claims registry."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    PAPER_CLAIMS,
+    claim_by_id,
+    comparison_rows,
+    mean_improvement,
+)
+
+
+class TestClaims:
+    def test_headline_numbers_encoded(self):
+        assert claim_by_id("fig9_mean_write_reduction").value == 29.0
+        assert claim_by_id("fig11_mean_latency_improvement").value == 24.5
+        assert claim_by_id("fig12_mean_tail_improvement").value == 22.0
+        assert claim_by_id("fig10_mean_erase_reduction").value == 35.5
+
+    def test_every_eval_figure_has_a_claim(self):
+        figures = {c.figure for c in PAPER_CLAIMS}
+        for fig in ("Figure 9", "Figure 10", "Figure 11", "Figure 12",
+                    "Figure 14", "Figure 15", "Figure 1", "Figure 5"):
+            assert fig in figures
+
+    def test_unique_ids(self):
+        ids = [c.claim_id for c in PAPER_CLAIMS]
+        assert len(ids) == len(set(ids))
+
+    def test_unknown_claim(self):
+        with pytest.raises(KeyError):
+            claim_by_id("nope")
+
+
+class TestComparisonRows:
+    def test_measured_values_rendered(self):
+        rows = comparison_rows({"fig9_mean_write_reduction": 23.4})
+        row = next(r for r in rows if "200K" in r[1])
+        assert row[2] == "29%"
+        assert row[3] == "23.4%"
+
+    def test_missing_measurement_dashed(self):
+        rows = comparison_rows({})
+        assert all(r[3] == "-" for r in rows)
+
+    def test_row_per_claim(self):
+        assert len(comparison_rows({})) == len(PAPER_CLAIMS)
+
+
+class TestMeanImprovement:
+    def test_mean(self):
+        assert mean_improvement({"a": 10.0, "b": 20.0}) == 15.0
+
+    def test_empty(self):
+        assert mean_improvement({}) == 0.0

@@ -1,0 +1,125 @@
+"""Unit tests for the event-driven SSD and its chip schedulers."""
+
+import pytest
+
+from repro.core.dvp import MQDeadValuePool
+from repro.ftl.ftl import BaseFTL
+from repro.sim.des_ssd import ChipOp, ChipServer, EventDrivenSSD
+from repro.sim.engine import EventEngine
+from repro.sim.request import IORequest, OpType
+
+
+def w(t, lpn, value):
+    return IORequest(t, OpType.WRITE, lpn, value)
+
+
+def r(t, lpn):
+    return IORequest(t, OpType.READ, lpn, 0)
+
+
+class TestChipServer:
+    def test_fifo_order(self):
+        engine = EventEngine()
+        server = ChipServer(engine, "fifo")
+        done = []
+        for name in "abc":
+            server.submit(ChipOp(
+                "program", 10.0,
+                on_complete=lambda t, n=name: done.append((n, t)),
+            ))
+        engine.run()
+        assert done == [("a", 10.0), ("b", 20.0), ("c", 30.0)]
+
+    def test_read_priority_overtakes_queued_writes(self):
+        engine = EventEngine()
+        server = ChipServer(engine, "read-priority")
+        done = []
+        server.submit(ChipOp("program", 100.0,
+                             on_complete=lambda t: done.append("w1")))
+        server.submit(ChipOp("program", 100.0,
+                             on_complete=lambda t: done.append("w2")))
+        server.submit(ChipOp("read", 10.0, is_host_read=True,
+                             on_complete=lambda t: done.append("r")))
+        engine.run()
+        # w1 was already in service; the read jumps only the queue.
+        assert done == ["w1", "r", "w2"]
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            ChipServer(EventEngine(), "lifo")
+
+    def test_idle_flag(self):
+        engine = EventEngine()
+        server = ChipServer(engine, "fifo")
+        assert server.idle
+        server.submit(ChipOp("read", 5.0))
+        assert not server.idle
+        engine.run()
+        assert server.idle
+
+    def test_busy_accounting(self):
+        engine = EventEngine()
+        server = ChipServer(engine, "fifo")
+        server.submit(ChipOp("read", 5.0))
+        server.submit(ChipOp("read", 7.0))
+        engine.run()
+        assert server.busy_time == 12.0
+        assert server.op_count == 2
+
+
+class TestEventDrivenSSD:
+    def test_single_write_latency_matches_timeline(self, tiny_config):
+        from repro.sim.ssd import SimulatedSSD
+
+        trace = [w(0.0, 0, 1)]
+        timeline = SimulatedSSD(BaseFTL(tiny_config))
+        des = EventDrivenSSD(BaseFTL(tiny_config))
+        t_done = timeline.submit(trace[0])
+        result = des.run(trace)
+        assert result.writes.mean == pytest.approx(t_done.latency_us)
+
+    def test_read_behind_write_queues(self, tiny_config):
+        device = EventDrivenSSD(BaseFTL(tiny_config))
+        result = device.run([w(0.0, 0, 1), r(1.0, 0)])
+        t = tiny_config.timing
+        floor = t.mapping_us + t.channel_xfer_us + t.read_us
+        assert result.reads.mean > floor
+
+    def test_read_priority_helps_reads_not_writes_much(self, tiny_config):
+        trace = []
+        ws = tiny_config.logical_pages // 2
+        for i in range(400):
+            trace.append(w(i * 60.0, i % ws, 5_000 + i))
+            if i % 3 == 0:
+                trace.append(r(i * 60.0 + 1.0, (i * 7) % ws))
+
+        def run(policy):
+            ftl = BaseFTL(tiny_config)
+            return EventDrivenSSD(ftl, chip_policy=policy).run(trace)
+
+        fifo = run("fifo")
+        prio = run("read-priority")
+        assert prio.reads.mean <= fifo.reads.mean
+        assert prio.counters.programs == fifo.counters.programs
+
+    def test_trim_supported(self, tiny_config):
+        device = EventDrivenSSD(BaseFTL(tiny_config))
+        device.run([
+            w(0.0, 0, 1),
+            IORequest(1000.0, OpType.TRIM, 0, 0),
+        ])
+        assert device.ftl.counters.host_trims == 1
+        assert device.ftl.mapping.lookup(0) is None
+
+    def test_pool_machinery_works_through_des(self, tiny_config):
+        ftl = BaseFTL(tiny_config, pool=MQDeadValuePool(64))
+        device = EventDrivenSSD(ftl)
+        result = device.run([
+            w(0.0, 0, 1), w(1000.0, 0, 2), w(2000.0, 1, 1),
+        ])
+        assert result.counters.short_circuits == 1
+
+    def test_horizon_tracks_last_completion(self, tiny_config):
+        device = EventDrivenSSD(BaseFTL(tiny_config))
+        result = device.run([w(0.0, 0, 1), w(50_000.0, 1, 2)])
+        assert result.horizon_us > 50_000.0

@@ -1,0 +1,197 @@
+"""Unit tests for the dead-value pool variants."""
+
+import pytest
+
+from repro.core.dvp import (
+    InfiniteDeadValuePool,
+    LBARecencyPool,
+    LRUDeadValuePool,
+    MQDeadValuePool,
+)
+from repro.core.hashing import fingerprint_of_value as fp
+
+
+BOUNDED_POOLS = [
+    lambda: LRUDeadValuePool(4),
+    lambda: MQDeadValuePool(4),
+    lambda: LBARecencyPool(4),
+]
+ALL_POOLS = BOUNDED_POOLS + [InfiniteDeadValuePool]
+
+
+@pytest.mark.parametrize("make_pool", ALL_POOLS)
+class TestCommonProtocol:
+    def test_miss_on_empty(self, make_pool):
+        pool = make_pool()
+        assert pool.lookup_for_write(fp(1), now=1) is None
+        assert pool.stats.misses == 1
+
+    def test_insert_then_hit_returns_ppn(self, make_pool):
+        pool = make_pool()
+        pool.insert_garbage(fp(1), ppn=100, now=1, lpn=0)
+        assert pool.lookup_for_write(fp(1), now=2) == 100
+        assert pool.stats.hits == 1
+
+    def test_hit_consumes_the_entry(self, make_pool):
+        pool = make_pool()
+        pool.insert_garbage(fp(1), ppn=100, now=1, lpn=0)
+        assert pool.lookup_for_write(fp(1), now=2) == 100
+        assert pool.lookup_for_write(fp(1), now=3) is None
+
+    def test_contains(self, make_pool):
+        pool = make_pool()
+        assert fp(1) not in pool
+        pool.insert_garbage(fp(1), ppn=100, now=1, lpn=0)
+        assert fp(1) in pool
+
+    def test_discard_ppn(self, make_pool):
+        pool = make_pool()
+        pool.insert_garbage(fp(1), ppn=100, now=1, lpn=0)
+        assert pool.discard_ppn(fp(1), 100) is True
+        assert fp(1) not in pool
+        assert pool.stats.gc_removals == 1
+
+    def test_discard_unknown_ppn(self, make_pool):
+        pool = make_pool()
+        assert pool.discard_ppn(fp(9), 999) is False
+
+
+@pytest.mark.parametrize("make_pool", BOUNDED_POOLS)
+class TestCapacity:
+    def test_never_exceeds_capacity(self, make_pool):
+        pool = make_pool()
+        for i in range(20):
+            pool.insert_garbage(fp(i), ppn=i, now=i, lpn=i)
+            assert len(pool) <= 4
+
+    def test_eviction_reports_dropped_ppns(self, make_pool):
+        pool = make_pool()
+        dropped = []
+        for i in range(20):
+            dropped += pool.insert_garbage(fp(i), ppn=i, now=i, lpn=i)
+        assert len(dropped) == 16
+        assert pool.stats.evicted_ppns >= 16
+
+
+class TestInfinitePool:
+    def test_tracks_multiple_ppns_per_value(self):
+        pool = InfiniteDeadValuePool()
+        pool.insert_garbage(fp(1), 10, now=1)
+        pool.insert_garbage(fp(1), 11, now=2)
+        assert pool.tracked_ppn_count() == 2
+        first = pool.lookup_for_write(fp(1), now=3)
+        second = pool.lookup_for_write(fp(1), now=4)
+        assert {first, second} == {10, 11}
+        assert first == 11  # freshest copy first (LIFO)
+
+    def test_never_evicts(self):
+        pool = InfiniteDeadValuePool()
+        for i in range(10_000):
+            pool.insert_garbage(fp(i), i, now=i)
+        assert len(pool) == 10_000
+        assert pool.stats.evictions == 0
+
+    def test_discard_specific_ppn_keeps_others(self):
+        pool = InfiniteDeadValuePool()
+        pool.insert_garbage(fp(1), 10, now=1)
+        pool.insert_garbage(fp(1), 11, now=2)
+        pool.discard_ppn(fp(1), 10)
+        assert fp(1) in pool
+        assert pool.lookup_for_write(fp(1), now=3) == 11
+
+
+class TestLRUPool:
+    def test_evicts_least_recently_touched(self):
+        pool = LRUDeadValuePool(2)
+        pool.insert_garbage(fp(1), 1, now=1)
+        pool.insert_garbage(fp(2), 2, now=2)
+        pool.insert_garbage(fp(1), 11, now=3)   # refreshes fp(1)
+        pool.insert_garbage(fp(3), 3, now=4)    # evicts fp(2)
+        assert fp(2) not in pool
+        assert fp(1) in pool and fp(3) in pool
+
+    def test_eviction_drops_all_ppns_of_entry(self):
+        pool = LRUDeadValuePool(1)
+        pool.insert_garbage(fp(1), 1, now=1)
+        pool.insert_garbage(fp(1), 2, now=2)
+        dropped = pool.insert_garbage(fp(2), 3, now=3)
+        assert sorted(dropped) == [1, 2]
+
+    def test_hit_rate(self):
+        pool = LRUDeadValuePool(4)
+        pool.insert_garbage(fp(1), 1, now=1)
+        pool.lookup_for_write(fp(1), now=2)
+        pool.lookup_for_write(fp(2), now=3)
+        assert pool.stats.hit_rate == 0.5
+
+
+class TestMQPool:
+    def test_popular_value_survives_unpopular_flood(self):
+        """The defining MQ property: a high-popularity entry outlives a
+        stream of popularity-1 insertions that would flush plain LRU."""
+        pool = MQDeadValuePool(8, num_queues=4)
+        pool.insert_garbage(fp(999), 999, now=0, popularity=50)
+        pool.mq.access(fp(999), 1)  # climb out of Q0
+        lru = LRUDeadValuePool(8)
+        lru.insert_garbage(fp(999), 999, now=0, popularity=50)
+        for i in range(100):
+            pool.insert_garbage(fp(i), i, now=2 + i, popularity=1)
+            lru.insert_garbage(fp(i), i, now=2 + i, popularity=1)
+        assert fp(999) in pool      # MQ kept the popular dead value
+        assert fp(999) not in lru   # LRU flushed it
+
+    def test_multiple_ppns_reuse_lifo(self):
+        pool = MQDeadValuePool(8)
+        pool.insert_garbage(fp(1), 10, now=1)
+        pool.insert_garbage(fp(1), 11, now=2)
+        assert pool.lookup_for_write(fp(1), now=3) == 11
+        assert fp(1) in pool
+        assert pool.lookup_for_write(fp(1), now=4) == 10
+        assert fp(1) not in pool
+
+    def test_reinsert_promotes(self):
+        pool = MQDeadValuePool(8, num_queues=4)
+        pool.insert_garbage(fp(1), 10, now=1, popularity=1)
+        pool.insert_garbage(fp(1), 11, now=2, popularity=2)
+        assert pool.mq.entry(fp(1)).popularity >= 2
+
+    def test_tracked_ppn_count(self):
+        pool = MQDeadValuePool(8)
+        pool.insert_garbage(fp(1), 10, now=1)
+        pool.insert_garbage(fp(1), 11, now=2)
+        pool.insert_garbage(fp(2), 20, now=3)
+        assert pool.tracked_ppn_count() == 3
+
+
+class TestLBARecencyPool:
+    def test_requires_lpn(self):
+        pool = LBARecencyPool(4)
+        with pytest.raises(ValueError):
+            pool.insert_garbage(fp(1), 1, now=1)
+
+    def test_hot_lba_overwrites_slot(self):
+        """The scalability flaw the paper critiques: one slot per LBA, so a
+        second death at the same address silently drops the earlier value."""
+        pool = LBARecencyPool(4)
+        pool.insert_garbage(fp(1), 1, now=1, lpn=5)
+        dropped = pool.insert_garbage(fp(2), 2, now=2, lpn=5)
+        assert dropped == [1]
+        assert fp(1) not in pool
+        assert fp(2) in pool
+
+    def test_popular_entry_gets_second_chance(self):
+        pool = LBARecencyPool(2, popularity_threshold=4)
+        pool.insert_garbage(fp(1), 1, now=1, lpn=1, popularity=10)
+        pool.insert_garbage(fp(2), 2, now=2, lpn=2, popularity=1)
+        pool.insert_garbage(fp(3), 3, now=3, lpn=3, popularity=1)
+        # fp(1) was LRU but popular: second chance pushed eviction to fp(2).
+        assert fp(1) in pool
+        assert fp(2) not in pool
+
+    def test_lookup_by_content_across_lbas(self):
+        pool = LBARecencyPool(4)
+        pool.insert_garbage(fp(7), 70, now=1, lpn=1)
+        pool.insert_garbage(fp(7), 71, now=2, lpn=2)
+        hit = pool.lookup_for_write(fp(7), now=3)
+        assert hit in (70, 71)
+        assert fp(7) in pool  # the other LBA's copy remains

@@ -1,0 +1,80 @@
+"""Unit tests for the studied-system factories."""
+
+import pytest
+
+from repro.core.dvp import (
+    InfiniteDeadValuePool,
+    LBARecencyPool,
+    LRUDeadValuePool,
+    MQDeadValuePool,
+)
+from repro.ftl.dedup import DedupFTL
+from repro.ftl.dvp_ftl import SYSTEMS, build_system
+from repro.ftl.gc import GreedyVictimPolicy, PopularityAwareVictimPolicy
+
+
+class TestRegistry:
+    def test_all_paper_systems_present(self):
+        assert set(SYSTEMS) == {
+            "baseline", "lru-dvp", "mq-dvp", "ideal", "lxssd",
+            "dedup", "dvp+dedup", "adaptive-dvp",
+        }
+
+    def test_unknown_system(self, tiny_config):
+        with pytest.raises(ValueError, match="unknown system"):
+            build_system("nope", tiny_config, 100)
+
+
+class TestComposition:
+    def test_baseline_has_no_pool(self, tiny_config):
+        ftl = build_system("baseline", tiny_config, 100)
+        assert ftl.pool is None
+        assert not ftl.content_aware
+        assert isinstance(ftl.gc.policy, GreedyVictimPolicy)
+
+    def test_lru_dvp(self, tiny_config):
+        ftl = build_system("lru-dvp", tiny_config, 100)
+        assert isinstance(ftl.pool, LRUDeadValuePool)
+        assert ftl.pool.capacity == 100
+
+    def test_mq_dvp_uses_popularity_aware_gc(self, tiny_config):
+        ftl = build_system("mq-dvp", tiny_config, 100)
+        assert isinstance(ftl.pool, MQDeadValuePool)
+        assert ftl.pool.mq.num_queues == 8  # paper Section V-A
+        assert isinstance(ftl.gc.policy, PopularityAwareVictimPolicy)
+
+    def test_ideal_is_infinite(self, tiny_config):
+        ftl = build_system("ideal", tiny_config, 100)
+        assert isinstance(ftl.pool, InfiniteDeadValuePool)
+
+    def test_lxssd_combines_read_popularity(self, tiny_config):
+        ftl = build_system("lxssd", tiny_config, 100)
+        assert isinstance(ftl.pool, LBARecencyPool)
+        assert ftl.combine_read_popularity
+        assert isinstance(ftl.gc.policy, GreedyVictimPolicy)
+
+    def test_dedup_has_no_pool(self, tiny_config):
+        ftl = build_system("dedup", tiny_config, 100)
+        assert isinstance(ftl, DedupFTL)
+        assert ftl.pool is None
+        assert ftl.content_aware  # hashes even without a pool
+
+    def test_dvp_dedup_composition(self, tiny_config):
+        ftl = build_system("dvp+dedup", tiny_config, 100)
+        assert isinstance(ftl, DedupFTL)
+        assert isinstance(ftl.pool, MQDeadValuePool)
+        assert isinstance(ftl.gc.policy, PopularityAwareVictimPolicy)
+
+    def test_adaptive_dvp_composition(self, tiny_config):
+        from repro.core.adaptive import AdaptiveMQDeadValuePool
+
+        ftl = build_system("adaptive-dvp", tiny_config, 512)
+        assert isinstance(ftl.pool, AdaptiveMQDeadValuePool)
+        assert ftl.pool.max_entries == 512
+        assert ftl.pool.capacity == 128  # starts at a quarter of the budget
+        assert isinstance(ftl.gc.policy, PopularityAwareVictimPolicy)
+
+    def test_pool_size_ignored_where_inapplicable(self, tiny_config):
+        # These factories take no pool size; any value must work.
+        for name in ("baseline", "ideal", "dedup"):
+            build_system(name, tiny_config, 12345)

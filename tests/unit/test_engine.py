@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import EventEngine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(30.0, lambda: fired.append("c"))
+        engine.schedule(10.0, lambda: fired.append("a"))
+        engine.schedule(20.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_schedule_order(self):
+        engine = EventEngine()
+        fired = []
+        for name in "abc":
+            engine.schedule(5.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(7.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [7.5]
+        assert engine.now == 7.5
+
+    def test_cannot_schedule_in_the_past(self):
+        engine = EventEngine()
+        engine.schedule(10.0, lambda: None)
+        engine.run()
+        with pytest.raises(ValueError):
+            engine.schedule(5.0, lambda: None)
+
+    def test_schedule_in_relative(self):
+        engine = EventEngine()
+        seen = []
+        engine.schedule(10.0, lambda: engine.schedule_in(
+            5.0, lambda: seen.append(engine.now)
+        ))
+        engine.run()
+        assert seen == [15.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventEngine().schedule_in(-1.0, lambda: None)
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = EventEngine()
+        fired = []
+        handle = engine.schedule(10.0, lambda: fired.append("x"))
+        engine.cancel(handle)
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        engine = EventEngine()
+        keep = engine.schedule(10.0, lambda: None)
+        drop = engine.schedule(20.0, lambda: None)
+        engine.cancel(drop)
+        assert engine.pending() == 1
+
+
+class TestRunControl:
+    def test_step_returns_false_when_empty(self):
+        assert EventEngine().step() is False
+
+    def test_run_until_leaves_later_events(self):
+        engine = EventEngine()
+        fired = []
+        engine.schedule(10.0, lambda: fired.append("early"))
+        engine.schedule(100.0, lambda: fired.append("late"))
+        engine.run(until=50.0)
+        assert fired == ["early"]
+        assert engine.now == 50.0
+        assert engine.pending() == 1
+        engine.run()
+        assert fired == ["early", "late"]
+
+    def test_cascading_events(self):
+        """Events scheduled from callbacks fire in the same run."""
+        engine = EventEngine()
+        fired = []
+
+        def chain(depth):
+            fired.append(depth)
+            if depth < 5:
+                engine.schedule_in(1.0, lambda: chain(depth + 1))
+
+        engine.schedule(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4, 5]
+        assert engine.events_fired == 6

@@ -1,0 +1,89 @@
+"""Unit tests for the per-figure entry points (at very small scale)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    ALL_WORKLOADS,
+    EvaluationMatrix,
+    fig01_reuse_opportunity,
+    fig02_invalidation_cdf,
+    fig05_lru_sweep,
+    fig09_write_reduction,
+    fig11_mean_latency,
+    fig14_dedup_writes,
+    table1_configuration,
+    table2_workloads,
+)
+
+SCALE = 0.04
+
+
+class TestSectionTwoFigures:
+    def test_fig01_day_labels_and_ranges(self):
+        results = fig01_reuse_opportunity(SCALE, workloads=("mail",), days=(1, 2))
+        assert [r.workload for r in results] == ["m1", "m2"]
+        for r in results:
+            assert 0.0 <= r.with_dedup <= r.without_dedup <= 1.0
+
+    def test_fig02_returns_cdf(self):
+        result = fig02_invalidation_cdf(SCALE)
+        assert result.cdf
+        assert 0.0 <= result.live_value_frac <= 1.0
+
+    def test_fig05_includes_infinite_reference(self):
+        results = fig05_lru_sweep(SCALE, workloads=("mail",), days=(1,))
+        (name, sweep), = results.items()
+        assert name == "m1"
+        assert "infinite" in sweep
+        bounded = [v for k, v in sweep.items() if k != "infinite"]
+        assert all(
+            b.serviced_writes >= sweep["infinite"].serviced_writes
+            for b in bounded
+        )
+
+
+class TestTables:
+    def test_table1_is_paper_drive(self):
+        config = table1_configuration()
+        assert config.channels == 8
+        assert config.timing.erase_us == 3800.0
+
+    def test_table2_covers_all_workloads(self):
+        results = table2_workloads(SCALE)
+        assert set(results) == set(ALL_WORKLOADS)
+        for audit, targets in results.values():
+            assert audit.requests > 0
+            assert 0.0 <= targets.write_ratio <= 1.0
+
+
+class TestEvaluationMatrix:
+    @pytest.fixture(scope="class")
+    def matrix(self):
+        return EvaluationMatrix(scale=SCALE)
+
+    def test_runs_are_cached(self, matrix):
+        first = matrix.run("desktop", "baseline")
+        second = matrix.run("desktop", "baseline")
+        assert first is second
+
+    def test_context_shared_across_systems(self, matrix):
+        c1 = matrix.context("desktop")
+        matrix.run("desktop", "baseline")
+        assert matrix.context("desktop") is c1
+
+    def test_improvement_vs_baseline(self, matrix):
+        value = matrix.improvement("desktop", "ideal", "flash_writes")
+        assert value >= 0.0
+
+    def test_fig09_rows_have_all_pool_sizes(self, matrix):
+        out = fig09_write_reduction(matrix, workloads=("desktop",))
+        assert set(out["desktop"]) == {"100K", "200K", "300K", "ideal"}
+
+    def test_fig11_has_both_systems(self, matrix):
+        out = fig11_mean_latency(matrix, workloads=("desktop",))
+        assert set(out["desktop"]) == {"dvp", "lxssd"}
+
+    def test_fig14_normalised_to_baseline(self, matrix):
+        out = fig14_dedup_writes(matrix, workloads=("desktop",))
+        for value in out["desktop"].values():
+            assert 0.0 < value <= 1.01

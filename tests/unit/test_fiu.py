@@ -1,0 +1,106 @@
+"""Unit tests for the FIU trace format."""
+
+import io
+
+import pytest
+
+from repro.sim.request import IORequest, OpType
+from repro.traces.fiu import (
+    FIUFormatError,
+    SECTORS_PER_PAGE,
+    format_fiu_line,
+    iter_fiu_requests,
+    parse_fiu_line,
+    read_fiu,
+    write_fiu,
+)
+
+LINE = "123.456 42 httpd 1024 8 W 8 0 0123456789abcdef0123456789abcdef"
+
+
+class TestParsing:
+    def test_parse_fields(self):
+        rec = parse_fiu_line(LINE)
+        assert rec.timestamp == 123.456
+        assert rec.pid == 42
+        assert rec.process == "httpd"
+        assert rec.lba == 1024
+        assert rec.size == 8
+        assert rec.op is OpType.WRITE
+        assert rec.md5 == "0123456789abcdef0123456789abcdef"
+
+    def test_lpn_conversion(self):
+        rec = parse_fiu_line(LINE)
+        assert rec.lpn == 1024 // SECTORS_PER_PAGE == 128
+
+    def test_lowercase_op_accepted(self):
+        rec = parse_fiu_line(LINE.replace(" W ", " r "))
+        assert rec.op is OpType.READ
+
+    def test_wrong_field_count(self):
+        with pytest.raises(FIUFormatError, match="9 fields"):
+            parse_fiu_line("1 2 3")
+
+    def test_bad_op(self):
+        with pytest.raises(FIUFormatError, match="op"):
+            parse_fiu_line(LINE.replace(" W ", " X "))
+
+    def test_bad_number(self):
+        with pytest.raises(FIUFormatError):
+            parse_fiu_line(LINE.replace("1024", "10x4"))
+
+    def test_read_fiu_skips_comments_and_blanks(self):
+        stream = io.StringIO(f"# header\n\n{LINE}\n")
+        assert len(list(read_fiu(stream))) == 1
+
+
+class TestRequestConversion:
+    def test_digest_interning(self):
+        lines = [LINE, LINE.replace("1024", "2048")]
+        reqs = list(iter_fiu_requests(io.StringIO("\n".join(lines))))
+        assert len(reqs) == 2
+        assert reqs[0].value_id == reqs[1].value_id == 0
+
+    def test_distinct_digests_distinct_values(self):
+        other = LINE.replace("0123456789abcdef" * 2, "f" * 32)
+        reqs = list(iter_fiu_requests(io.StringIO(f"{LINE}\n{other}\n")))
+        assert reqs[0].value_id != reqs[1].value_id
+
+    def test_multi_page_request_split(self):
+        big = LINE.replace(" 8 W", " 16 W")  # 16 sectors = 2 pages
+        reqs = list(iter_fiu_requests(io.StringIO(big)))
+        assert len(reqs) == 2
+        assert reqs[1].lpn == reqs[0].lpn + 1
+
+    def test_timestamp_unit(self):
+        reqs = list(
+            iter_fiu_requests(io.StringIO(LINE), timestamp_unit_us=1000.0)
+        )
+        assert reqs[0].arrival_us == pytest.approx(123456.0)
+
+
+class TestRoundTrip:
+    def test_write_then_read_preserves_semantics(self):
+        original = [
+            IORequest(10.0, OpType.WRITE, 5, 7),
+            IORequest(20.0, OpType.READ, 5, 7),
+            IORequest(30.0, OpType.WRITE, 6, 8),
+        ]
+        buffer = io.StringIO()
+        assert write_fiu(buffer, original) == 3
+        buffer.seek(0)
+        parsed = list(iter_fiu_requests(buffer))
+        assert [r.lpn for r in parsed] == [5, 5, 6]
+        assert [r.op for r in parsed] == [
+            OpType.WRITE, OpType.READ, OpType.WRITE,
+        ]
+        # identical contents intern to identical ids; distinct stay distinct
+        assert parsed[0].value_id == parsed[1].value_id
+        assert parsed[0].value_id != parsed[2].value_id
+
+    def test_formatted_line_is_parseable(self):
+        line = format_fiu_line(IORequest(1.5, OpType.WRITE, 100, 77))
+        rec = parse_fiu_line(line)
+        assert rec.lpn == 100
+        assert rec.op is OpType.WRITE
+        assert len(rec.md5) == 32

@@ -1,0 +1,97 @@
+"""Unit tests for SSD configuration (Table I) and scaling."""
+
+import pytest
+
+from repro.flash.config import SSDConfig, TimingParams, paper_config, scaled_config
+
+
+class TestPaperConfig:
+    def test_table1_geometry(self):
+        cfg = paper_config()
+        assert cfg.channels == 8
+        assert cfg.chips_per_channel == 8
+        assert cfg.dies_per_chip == 4
+        assert cfg.planes_per_die == 2
+        assert cfg.pages_per_block == 256
+        assert cfg.page_size == 4096
+        assert cfg.overprovision == 0.15
+
+    def test_table1_timing(self):
+        t = paper_config().timing
+        assert t.read_us == 75.0
+        assert t.program_us == 400.0
+        assert t.erase_us == 3800.0
+        assert t.hash_us == 12.0
+
+    def test_write_latency_is_much_slower_than_read(self):
+        t = paper_config().timing
+        assert t.program_us > 5 * t.read_us
+
+    def test_erase_slowest(self):
+        t = paper_config().timing
+        assert t.erase_us > t.program_us > t.read_us
+
+    def test_capacity_is_exactly_1tb(self):
+        assert paper_config().raw_capacity_bytes == 1 << 40
+
+    def test_logical_capacity_removes_op(self):
+        cfg = paper_config()
+        assert cfg.logical_pages == int(cfg.total_pages * 0.85)
+
+
+class TestDerivedSizes:
+    def test_totals_multiply_out(self):
+        cfg = SSDConfig(
+            channels=2, chips_per_channel=3, dies_per_chip=4,
+            planes_per_die=2, blocks_per_plane=10, pages_per_block=16,
+        )
+        assert cfg.total_chips == 6
+        assert cfg.planes_per_chip == 8
+        assert cfg.total_planes == 48
+        assert cfg.total_blocks == 480
+        assert cfg.total_pages == 7680
+
+    def test_with_timing_override(self):
+        cfg = paper_config().with_timing(hash_us=20.0)
+        assert cfg.timing.hash_us == 20.0
+        assert cfg.timing.read_us == 75.0
+
+
+class TestValidation:
+    def test_zero_channels_rejected(self):
+        with pytest.raises(ValueError):
+            SSDConfig(channels=0)
+
+    def test_bad_overprovision_rejected(self):
+        with pytest.raises(ValueError):
+            SSDConfig(overprovision=1.0)
+
+    def test_bad_gc_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            SSDConfig(gc_threshold=0.5, gc_target=0.4)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            TimingParams(read_us=-1.0)
+
+
+class TestScaledConfig:
+    def test_covers_requested_pages(self):
+        cfg = scaled_config(10_000)
+        assert cfg.logical_pages >= 10_000
+
+    def test_keeps_paper_timing(self):
+        assert scaled_config(1000).timing == paper_config().timing
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_config(0)
+
+    def test_small_requests_get_minimum_blocks(self):
+        cfg = scaled_config(1)
+        assert cfg.blocks_per_plane >= 4
+
+    def test_larger_footprint_means_more_blocks(self):
+        small = scaled_config(5_000)
+        large = scaled_config(50_000)
+        assert large.total_pages > small.total_pages

@@ -1,0 +1,183 @@
+"""Unit tests for the base FTL: writes, updates, revival, GC interplay."""
+
+import pytest
+
+from repro.core.dvp import InfiniteDeadValuePool, MQDeadValuePool
+from repro.core.hashing import fingerprint_of_value as fp
+from repro.flash.block import PageState
+from repro.ftl.ftl import BaseFTL
+
+
+@pytest.fixture
+def ftl(tiny_config):
+    return BaseFTL(tiny_config)
+
+
+@pytest.fixture
+def dvp_ftl(tiny_config):
+    return BaseFTL(tiny_config, pool=InfiniteDeadValuePool())
+
+
+class TestBasicWriteRead:
+    def test_write_programs_a_page(self, ftl):
+        outcome = ftl.write(0, fp(1))
+        assert outcome.programmed
+        assert not outcome.hashed          # baseline has no hashing
+        assert ftl.counters.programs == 1
+        assert ftl.mapping.lookup(0) == outcome.program_ppn
+
+    def test_read_mapped_page(self, ftl):
+        out_w = ftl.write(0, fp(1))
+        out_r = ftl.read(0)
+        assert out_r.flash_read
+        assert out_r.ppn == out_w.program_ppn
+        assert ftl.counters.flash_reads == 1
+
+    def test_read_unmapped_is_free(self, ftl):
+        out = ftl.read(5)
+        assert not out.flash_read
+        assert ftl.counters.flash_reads == 0
+
+    def test_lpn_bounds_enforced(self, ftl, tiny_config):
+        with pytest.raises(ValueError):
+            ftl.write(tiny_config.logical_pages, fp(1))
+        with pytest.raises(ValueError):
+            ftl.read(-1)
+
+    def test_update_invalidates_old_page(self, ftl):
+        first = ftl.write(0, fp(1))
+        ftl.write(0, fp(2))
+        assert ftl.array.state_of(first.program_ppn) is PageState.INVALID
+        assert ftl.counters.invalidations == 1
+
+    def test_write_clock_counts_writes(self, ftl):
+        ftl.write(0, fp(1))
+        ftl.read(0)
+        ftl.write(1, fp(2))
+        assert ftl.write_clock == 2
+
+    def test_popularity_tracked_per_value(self, ftl):
+        for _ in range(3):
+            ftl.write(0, fp(7))
+        assert ftl.write_popularity_of(fp(7)) == 3
+        assert ftl.mapping.popularity(0) == 3
+
+
+class TestDeadValuePoolIntegration:
+    def test_death_inserts_into_pool(self, dvp_ftl):
+        first = dvp_ftl.write(0, fp(1))
+        dvp_ftl.write(0, fp(2))
+        assert fp(1) in dvp_ftl.pool
+        assert dvp_ftl.pool.stats.insertions == 1
+
+    def test_rebirth_short_circuits_write(self, dvp_ftl):
+        first = dvp_ftl.write(0, fp(1))
+        dvp_ftl.write(0, fp(2))              # fp(1) dies
+        outcome = dvp_ftl.write(1, fp(1))    # fp(1) reborn
+        assert outcome.short_circuited
+        assert outcome.revived_ppn == first.program_ppn
+        assert not outcome.programmed
+        assert dvp_ftl.counters.short_circuits == 1
+        assert dvp_ftl.array.state_of(first.program_ppn) is PageState.VALID
+        assert dvp_ftl.mapping.lookup(1) == first.program_ppn
+
+    def test_revived_page_leaves_pool(self, dvp_ftl):
+        dvp_ftl.write(0, fp(1))
+        dvp_ftl.write(0, fp(2))
+        dvp_ftl.write(1, fp(1))
+        assert fp(1) not in dvp_ftl.pool
+
+    def test_same_content_overwrite_revives_in_place(self, dvp_ftl):
+        """Rewriting identical content to the same LPN: the dying copy is
+        itself the rebirth candidate — zero flash programs."""
+        first = dvp_ftl.write(0, fp(1))
+        outcome = dvp_ftl.write(0, fp(1))
+        assert outcome.short_circuited
+        assert outcome.revived_ppn == first.program_ppn
+        assert dvp_ftl.mapping.lookup(0) == first.program_ppn
+        assert dvp_ftl.counters.programs == 1
+
+    def test_content_aware_writes_are_hashed(self, dvp_ftl):
+        assert dvp_ftl.write(0, fp(1)).hashed
+
+    def test_read_data_integrity_through_revival(self, dvp_ftl):
+        """After any mix of writes, each LPN's mapped page must hold the
+        fingerprint most recently written to it."""
+        dvp_ftl.write(0, fp(1))
+        dvp_ftl.write(0, fp(2))
+        dvp_ftl.write(1, fp(1))   # revival
+        dvp_ftl.write(2, fp(2))
+        assert dvp_ftl.fingerprint_at(dvp_ftl.mapping.lookup(0)) == fp(2)
+        assert dvp_ftl.fingerprint_at(dvp_ftl.mapping.lookup(1)) == fp(1)
+        assert dvp_ftl.fingerprint_at(dvp_ftl.mapping.lookup(2)) == fp(2)
+
+    def test_pool_popularity_comes_from_write_counts(self, tiny_config):
+        ftl = BaseFTL(tiny_config, pool=MQDeadValuePool(64))
+        for _ in range(5):
+            ftl.write(0, fp(9))   # popularity of value 9 climbs
+        ftl.write(0, fp(1))       # fp(9) dies, inserted with popularity 6?
+        entry = ftl.pool.mq.entry(fp(9))
+        assert entry is not None
+        assert entry.popularity >= 5
+
+
+class TestGCIntegration:
+    def _churn(self, ftl, tiny_config, writes):
+        """Overwrite a small working set to force GC."""
+        ws = tiny_config.logical_pages // 2
+        for i in range(writes):
+            ftl.write(i % ws, fp(1_000_000 + i))
+
+    def test_gc_triggers_under_churn(self, ftl, tiny_config):
+        self._churn(ftl, tiny_config, tiny_config.total_pages * 2)
+        assert ftl.counters.gc_erases > 0
+        ftl.check_invariants()
+
+    def test_gc_preserves_mapping_integrity(self, ftl, tiny_config):
+        self._churn(ftl, tiny_config, tiny_config.total_pages * 2)
+        ws = tiny_config.logical_pages // 2
+        for lpn in range(ws):
+            ppn = ftl.mapping.lookup(lpn)
+            assert ppn is not None
+            assert ftl.array.state_of(ppn) is PageState.VALID
+
+    def test_gc_discards_pool_entries_of_erased_pages(self, tiny_config):
+        ftl = BaseFTL(tiny_config, pool=InfiniteDeadValuePool())
+        self._churn(ftl, tiny_config, tiny_config.total_pages * 2)
+        # every pool-tracked PPN must still be a real INVALID page
+        pool = ftl.pool
+        for fp_key, entry in list(pool._entries.items()):
+            for ppn in entry.ppns:
+                assert ftl.array.state_of(ppn) is PageState.INVALID
+        assert pool.stats.gc_removals > 0
+
+    def test_relocation_counter_matches_work(self, ftl, tiny_config):
+        self._churn(ftl, tiny_config, tiny_config.total_pages * 2)
+        assert ftl.counters.gc_relocations >= 0
+        assert ftl.counters.gc_erases > 0
+
+    def test_popularity_aware_gc_runs(self, tiny_config):
+        ftl = BaseFTL(
+            tiny_config, pool=MQDeadValuePool(64), popularity_aware_gc=True
+        )
+        self._churn(ftl, tiny_config, tiny_config.total_pages * 2)
+        assert ftl.counters.gc_erases > 0
+        ftl.check_invariants()
+
+
+class TestReadPopularity:
+    def test_reads_tracked_when_enabled(self, tiny_config):
+        from repro.core.dvp import LBARecencyPool
+
+        ftl = BaseFTL(
+            tiny_config, pool=LBARecencyPool(16), combine_read_popularity=True
+        )
+        ftl.write(0, fp(1))
+        for _ in range(4):
+            ftl.read(0)
+        assert ftl._read_popularity[fp(1)] == 4
+
+    def test_reads_not_tracked_by_default(self, dvp_ftl):
+        dvp_ftl.write(0, fp(1))
+        dvp_ftl.read(0)
+        assert fp(1) not in dvp_ftl._read_popularity

@@ -1,0 +1,105 @@
+"""Unit tests for physical address arithmetic."""
+
+import pytest
+
+from repro.flash.config import SSDConfig
+from repro.flash.geometry import Geometry
+
+
+@pytest.fixture
+def geometry() -> Geometry:
+    return Geometry(
+        SSDConfig(
+            channels=2, chips_per_channel=2, dies_per_chip=2,
+            planes_per_die=2, blocks_per_plane=4, pages_per_block=8,
+        )
+    )
+
+
+class TestPPNCodec:
+    def test_roundtrip_every_page(self, geometry):
+        for ppn in range(geometry.total_pages):
+            plane, block, page = geometry.split_ppn(ppn)
+            assert geometry.ppn_of(plane, block, page) == ppn
+
+    def test_first_ppn_is_zero(self, geometry):
+        assert geometry.ppn_of(0, 0, 0) == 0
+
+    def test_sequential_pages_within_block(self, geometry):
+        assert geometry.ppn_of(0, 0, 1) == geometry.ppn_of(0, 0, 0) + 1
+
+    def test_out_of_range_rejected(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.split_ppn(geometry.total_pages)
+        with pytest.raises(ValueError):
+            geometry.split_ppn(-1)
+        with pytest.raises(ValueError):
+            geometry.ppn_of(geometry.total_planes, 0, 0)
+        with pytest.raises(ValueError):
+            geometry.ppn_of(0, geometry.blocks_per_plane, 0)
+        with pytest.raises(ValueError):
+            geometry.ppn_of(0, 0, geometry.pages_per_block)
+
+
+class TestBlockAddressing:
+    def test_block_of_ppn_dense(self, geometry):
+        ppb = geometry.pages_per_block
+        assert geometry.block_of_ppn(0) == 0
+        assert geometry.block_of_ppn(ppb - 1) == 0
+        assert geometry.block_of_ppn(ppb) == 1
+
+    def test_first_ppn_of_block_inverse(self, geometry):
+        for block in range(geometry.total_blocks):
+            ppn = geometry.first_ppn_of_block(block)
+            assert geometry.block_of_ppn(ppn) == block
+            assert geometry.page_in_block(ppn) == 0
+
+    def test_plane_of_block(self, geometry):
+        bpp = geometry.blocks_per_plane
+        assert geometry.plane_of_block(0) == 0
+        assert geometry.plane_of_block(bpp) == 1
+        assert geometry.block_in_plane(bpp + 2) == 2
+
+    def test_first_ppn_of_block_range_check(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.first_ppn_of_block(geometry.total_blocks)
+
+
+class TestChipAddressing:
+    def test_chip_of_ppn_spans_planes(self, geometry):
+        # 4 planes per chip in this geometry
+        assert geometry.chip_of_ppn(0) == 0
+        last_of_chip0 = geometry.pages_per_chip - 1
+        assert geometry.chip_of_ppn(last_of_chip0) == 0
+        assert geometry.chip_of_ppn(last_of_chip0 + 1) == 1
+
+    def test_chip_of_block_consistent_with_ppn(self, geometry):
+        for block in range(geometry.total_blocks):
+            ppn = geometry.first_ppn_of_block(block)
+            assert geometry.chip_of_block(block) == geometry.chip_of_ppn(ppn)
+
+    def test_channel_of_chip(self, geometry):
+        assert geometry.channel_of_chip(0) == 0
+        assert geometry.channel_of_chip(1) == 0
+        assert geometry.channel_of_chip(2) == 1
+
+    def test_decode_full_address(self, geometry):
+        addr = geometry.decode(0)
+        assert (addr.channel, addr.chip, addr.die, addr.plane) == (0, 0, 0, 0)
+        assert (addr.block, addr.page) == (0, 0)
+
+    def test_decode_last_page(self, geometry):
+        addr = geometry.decode(geometry.total_pages - 1)
+        assert addr.channel == 1
+        assert addr.chip == 1
+        assert addr.die == 1
+        assert addr.plane == 1
+        assert addr.block == geometry.blocks_per_plane - 1
+        assert addr.page == geometry.pages_per_block - 1
+
+    def test_decode_consistent_with_chip_of_ppn(self, geometry):
+        cfg = geometry.config
+        for ppn in range(0, geometry.total_pages, 7):
+            addr = geometry.decode(ppn)
+            flat_chip = addr.channel * cfg.chips_per_channel + addr.chip
+            assert flat_chip == geometry.chip_of_ppn(ppn)

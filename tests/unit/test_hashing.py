@@ -1,0 +1,71 @@
+"""Unit tests for content fingerprints."""
+
+import pytest
+
+from repro.core.hashing import (
+    DIGEST_SIZE,
+    Fingerprint,
+    fingerprint_of_bytes,
+    fingerprint_of_value,
+)
+
+
+class TestFingerprintConstruction:
+    def test_int_key(self):
+        fp = Fingerprint(42)
+        assert fp.key == 42
+
+    def test_negative_int_rejected(self):
+        with pytest.raises(ValueError):
+            Fingerprint(-1)
+
+    def test_bytes_key_must_be_digest_sized(self):
+        with pytest.raises(ValueError):
+            Fingerprint(b"short")
+
+    def test_bytes_key_accepted(self):
+        digest = bytes(range(DIGEST_SIZE))
+        assert Fingerprint(digest).key == digest
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            Fingerprint("not-a-key")  # type: ignore[arg-type]
+
+
+class TestFingerprintEquality:
+    def test_equal_ids_equal_fingerprints(self):
+        assert fingerprint_of_value(7) == fingerprint_of_value(7)
+
+    def test_distinct_ids_differ(self):
+        assert fingerprint_of_value(7) != fingerprint_of_value(8)
+
+    def test_hashable_and_usable_as_dict_key(self):
+        d = {fingerprint_of_value(1): "a"}
+        assert d[fingerprint_of_value(1)] == "a"
+
+    def test_not_equal_to_other_types(self):
+        assert fingerprint_of_value(1) != 1
+
+    def test_int_and_equivalent_digest_do_not_collide_accidentally(self):
+        fp_int = fingerprint_of_value(5)
+        fp_bytes = Fingerprint((5).to_bytes(DIGEST_SIZE, "big"))
+        # Same canonical digest, but identity is by key.
+        assert fp_int.digest == fp_bytes.digest
+
+
+class TestDigests:
+    def test_int_digest_is_16_bytes(self):
+        assert len(fingerprint_of_value(123456).digest) == DIGEST_SIZE
+
+    def test_bytes_digest_roundtrip(self):
+        fp = fingerprint_of_bytes(b"x" * 4096)
+        assert len(fp.digest) == DIGEST_SIZE
+
+    def test_same_content_same_digest(self):
+        assert fingerprint_of_bytes(b"a" * 100) == fingerprint_of_bytes(b"a" * 100)
+
+    def test_different_content_different_digest(self):
+        assert fingerprint_of_bytes(b"a") != fingerprint_of_bytes(b"b")
+
+    def test_repr_mentions_value_id(self):
+        assert "42" in repr(fingerprint_of_value(42))

@@ -1,0 +1,84 @@
+"""Unit tests for the JSONL trace format."""
+
+import io
+
+import pytest
+
+from repro.sim.request import IORequest, OpType
+from repro.traces.jsonl import (
+    JSONLFormatError,
+    iter_jsonl_requests,
+    write_jsonl,
+)
+
+
+TRACE = [
+    IORequest(0.5, OpType.WRITE, 3, 7),
+    IORequest(10.0, OpType.READ, 3, 7),
+    IORequest(20.0, OpType.TRIM, 3, 0),
+]
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self):
+        buffer = io.StringIO()
+        assert write_jsonl(buffer, TRACE) == 3
+        buffer.seek(0)
+        assert list(iter_jsonl_requests(buffer)) == TRACE
+
+    def test_blank_lines_skipped(self):
+        buffer = io.StringIO()
+        write_jsonl(buffer, TRACE[:1])
+        buffer.write("\n\n")
+        buffer.seek(0)
+        assert len(list(iter_jsonl_requests(buffer))) == 1
+
+    def test_unknown_keys_ignored(self):
+        line = '{"t": 1.0, "op": "W", "lpn": 5, "value": 9, "note": "x"}\n'
+        parsed = list(iter_jsonl_requests(io.StringIO(line)))
+        assert parsed[0].lpn == 5
+
+    def test_missing_value_defaults_to_zero(self):
+        line = '{"t": 1.0, "op": "R", "lpn": 5}\n'
+        parsed = list(iter_jsonl_requests(io.StringIO(line)))
+        assert parsed[0].value_id == 0
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(JSONLFormatError, match="line 1"):
+            list(iter_jsonl_requests(io.StringIO("{not json}\n")))
+
+    def test_non_object(self):
+        with pytest.raises(JSONLFormatError, match="object"):
+            list(iter_jsonl_requests(io.StringIO("[1,2]\n")))
+
+    def test_missing_field(self):
+        with pytest.raises(JSONLFormatError):
+            list(iter_jsonl_requests(io.StringIO('{"t": 1.0, "op": "W"}\n')))
+
+    def test_bad_op(self):
+        line = '{"t": 1.0, "op": "X", "lpn": 5}\n'
+        with pytest.raises(JSONLFormatError):
+            list(iter_jsonl_requests(io.StringIO(line)))
+
+    def test_error_reports_correct_line(self):
+        buffer = io.StringIO()
+        write_jsonl(buffer, TRACE[:2])
+        buffer.write("broken\n")
+        buffer.seek(0)
+        with pytest.raises(JSONLFormatError, match="line 3"):
+            list(iter_jsonl_requests(buffer))
+
+
+class TestSimulatorCompatibility:
+    def test_jsonl_trace_replays(self, tiny_config):
+        from repro.ftl.ftl import BaseFTL
+        from repro.sim.ssd import replay
+
+        buffer = io.StringIO()
+        trace = [IORequest(i * 100.0, OpType.WRITE, i % 8, i) for i in range(50)]
+        write_jsonl(buffer, trace)
+        buffer.seek(0)
+        result = replay(BaseFTL(tiny_config), list(iter_jsonl_requests(buffer)))
+        assert result.counters.host_writes == 50

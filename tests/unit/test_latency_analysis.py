@@ -1,0 +1,127 @@
+"""Unit tests for latency CDFs and GC-stall episode detection."""
+
+import pytest
+
+from repro.analysis.latency import (
+    find_stall_episodes,
+    latency_cdf,
+    latency_percentiles,
+    stall_summary,
+)
+from repro.sim.logging import CompletionLog, LoggedRequest
+from repro.sim.request import CompletedRequest, IORequest, OpType
+
+
+def log_of(latencies, gap_us=100.0):
+    """Build a log with the given per-request latencies, evenly spaced."""
+    log = CompletionLog()
+    for i, latency in enumerate(latencies):
+        arrival = i * gap_us
+        request = IORequest(arrival, OpType.WRITE, i, i)
+        log.record(CompletedRequest(
+            request=request, start_us=arrival, finish_us=arrival + latency,
+        ))
+    return log
+
+
+class TestPercentiles:
+    def test_basic(self):
+        log = log_of([float(v) for v in range(1, 101)])
+        p = latency_percentiles(log, (50, 99))
+        assert p[50] == 50.0
+        assert p[99] == 99.0
+
+    def test_empty_log(self):
+        assert latency_percentiles(log_of([]))[99] == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            latency_percentiles(log_of([1.0]), (0,))
+
+
+class TestCDF:
+    def test_monotone_and_terminates_at_one(self):
+        log = log_of([5.0, 1.0, 3.0, 2.0, 4.0])
+        cdf = latency_cdf(log, points=5)
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == 1.0
+
+    def test_empty(self):
+        assert latency_cdf(log_of([])) == []
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError):
+            latency_cdf(log_of([1.0]), points=0)
+
+
+class TestStallEpisodes:
+    def test_single_episode(self):
+        log = log_of([10, 10, 500, 600, 10, 10])
+        episodes = find_stall_episodes(log, threshold_us=100)
+        assert len(episodes) == 1
+        episode = episodes[0]
+        assert episode.request_count == 2
+        assert episode.peak_latency_us == 600
+        assert episode.start_us == 200.0  # third request's arrival
+
+    def test_multiple_episodes(self):
+        log = log_of([500, 10, 500, 10, 500])
+        assert len(find_stall_episodes(log, threshold_us=100)) == 3
+
+    def test_trailing_episode_counted(self):
+        log = log_of([10, 10, 500])
+        assert len(find_stall_episodes(log, threshold_us=100)) == 1
+
+    def test_min_requests_filter(self):
+        log = log_of([500, 10, 500, 500, 10])
+        episodes = find_stall_episodes(log, threshold_us=100, min_requests=2)
+        assert len(episodes) == 1
+        assert episodes[0].request_count == 2
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            find_stall_episodes(log_of([1.0]), threshold_us=0)
+
+    def test_no_stalls(self):
+        assert find_stall_episodes(log_of([1, 2, 3]), 100) == []
+
+
+class TestStallSummary:
+    def test_empty(self):
+        summary = stall_summary(log_of([1, 2, 3]), 100)
+        assert summary["episodes"] == 0
+        assert summary["stalled_fraction"] == 0.0
+
+    def test_aggregates(self):
+        log = log_of([500, 10, 700, 800, 10])
+        summary = stall_summary(log, 100)
+        assert summary["episodes"] == 2
+        assert summary["stalled_requests"] == 3
+        assert summary["stalled_fraction"] == pytest.approx(0.6)
+        assert summary["worst_peak_us"] == 800
+
+    def test_dvp_reduces_stalls_end_to_end(self, tiny_config):
+        """The consistency claim: on a churny workload, DVP shrinks both
+        the count and the share of GC-stall episodes."""
+        from repro.core.dvp import InfiniteDeadValuePool
+        from repro.ftl.ftl import BaseFTL
+        from repro.sim.ssd import SimulatedSSD
+
+        def run(pool):
+            log = CompletionLog()
+            ftl = BaseFTL(tiny_config, pool=pool)
+            device = SimulatedSSD(ftl, log=log)
+            ws = tiny_config.logical_pages // 2
+            for i in range(tiny_config.total_pages * 3):
+                device.submit(IORequest(
+                    i * 80.0, OpType.WRITE, i % ws, i % 25,
+                ))
+            return stall_summary(log, threshold_us=2000.0)
+
+        base = run(None)
+        dvp = run(InfiniteDeadValuePool())
+        assert base["episodes"] > 0
+        assert dvp["stalled_fraction"] <= base["stalled_fraction"]

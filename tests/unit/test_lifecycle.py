@@ -1,0 +1,149 @@
+"""Unit tests for the value life-cycle tracker (Section II model)."""
+
+from repro.core.lifecycle import LifecycleTracker
+
+
+class TestBasicLifecycle:
+    def test_first_write_is_creation(self):
+        t = LifecycleTracker()
+        assert t.on_write(0, 100) is False
+        stats = t.values[100]
+        assert stats.writes == 1
+        assert stats.creation_index == 1
+        assert stats.live_copies == 1
+        assert t.stats.programs == 1
+
+    def test_overwrite_kills_old_value(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)
+        t.on_write(0, 200)
+        old = t.values[100]
+        assert old.invalidations == 1
+        assert old.live_copies == 0
+        assert old.dead_copies == 1
+        assert t.stats.deaths == 1
+
+    def test_rebirth_short_circuits(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)    # create v100 at page 0
+        t.on_write(0, 200)    # v100 dies
+        assert t.on_write(1, 100) is True  # v100 reborn at page 1
+        stats = t.values[100]
+        assert stats.rebirths == 1
+        assert stats.dead_copies == 0
+        assert stats.live_copies == 1
+        assert t.stats.rebirths == 1
+
+    def test_no_rebirth_without_dead_copy(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)
+        assert t.on_write(1, 100) is False  # still live, no dead copy
+        assert t.stats.programs == 2
+
+    def test_same_value_overwrite_is_immediate_rebirth(self):
+        """Rewriting identical content to the same page: the old copy dies
+        and is immediately the rebirth candidate for this very write."""
+        t = LifecycleTracker()
+        t.on_write(0, 100)
+        assert t.on_write(0, 100) is True
+        assert t.values[100].invalidations == 1
+        assert t.values[100].rebirths == 1
+
+    def test_reads_tracked_separately(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)
+        t.on_read(0, 100)
+        t.on_read(0, 100)
+        assert t.values[100].reads == 2
+        assert t.stats.total_reads == 2
+
+
+class TestIntervals:
+    def test_creation_to_death_counts_writes(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)   # clock 1, page 0 written at 1
+        t.on_write(1, 200)   # clock 2
+        t.on_write(0, 300)   # clock 3: v100 dies, interval = 3 - 1 = 2
+        assert t.values[100].creation_to_death_sum == 2
+        assert t.values[100].mean_creation_to_death == 2
+
+    def test_death_to_rebirth_counts_writes(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)   # clock 1
+        t.on_write(0, 200)   # clock 2: v100 dies at 2
+        t.on_write(1, 300)   # clock 3
+        t.on_write(2, 100)   # clock 4: rebirth, interval = 4 - 2 = 2
+        assert t.values[100].death_to_rebirth_sum == 2
+        assert t.values[100].mean_death_to_rebirth == 2
+
+    def test_mean_is_none_without_samples(self):
+        t = LifecycleTracker()
+        t.on_write(0, 100)
+        assert t.values[100].mean_creation_to_death is None
+        assert t.values[100].mean_death_to_rebirth is None
+
+
+class TestDedupMode:
+    def test_duplicate_live_write_is_eliminated(self):
+        t = LifecycleTracker(dedup=True)
+        t.on_write(0, 100)
+        t.on_write(1, 100)   # same value still live elsewhere
+        assert t.stats.dedup_eliminated == 1
+        assert t.stats.programs == 1
+        assert t.values[100].live_copies == 2
+
+    def test_death_only_when_last_pointer_removed(self):
+        t = LifecycleTracker(dedup=True)
+        t.on_write(0, 100)
+        t.on_write(1, 100)   # refcount 2
+        t.on_write(0, 200)   # refcount 1: no death yet
+        assert t.stats.deaths == 0
+        t.on_write(1, 300)   # refcount 0: death
+        assert t.stats.deaths == 1
+        assert t.values[100].dead_copies == 1
+
+    def test_rebirth_after_dedup_death(self):
+        t = LifecycleTracker(dedup=True)
+        t.on_write(0, 100)
+        t.on_write(0, 200)           # 100 dies
+        assert t.on_write(1, 100) is True
+        assert t.stats.rebirths == 1
+
+    def test_dedup_reuse_probability_not_higher_than_plain(self):
+        """Dedup removes redundant writes before they reach garbage, so the
+        reuse opportunity can only shrink (Figure 1)."""
+        import random
+
+        rng = random.Random(3)
+        ops = [(rng.randrange(50), rng.randrange(20)) for _ in range(2000)]
+        plain, dedup = LifecycleTracker(), LifecycleTracker(dedup=True)
+        for lpn, value in ops:
+            plain.on_write(lpn, value)
+            dedup.on_write(lpn, value)
+        assert dedup.reuse_probability() <= plain.reuse_probability()
+
+
+class TestAggregates:
+    def test_conservation_of_writes(self):
+        import random
+
+        rng = random.Random(1)
+        t = LifecycleTracker()
+        for _ in range(5000):
+            t.on_write(rng.randrange(100), rng.randrange(40))
+        s = t.stats
+        assert s.programs + s.rebirths + s.dedup_eliminated == s.total_writes
+
+    def test_live_value_count_excludes_read_only(self):
+        t = LifecycleTracker()
+        t.on_read(5, 999)           # read-only value
+        t.on_write(0, 100)
+        assert t.unique_value_count() == 1
+        assert t.live_value_count() == 1
+
+    def test_write_clock(self):
+        t = LifecycleTracker()
+        t.on_write(0, 1)
+        t.on_read(0, 1)
+        t.on_write(1, 2)
+        assert t.write_clock == 2

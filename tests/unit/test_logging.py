@@ -1,0 +1,80 @@
+"""Unit tests for completion logging."""
+
+import pytest
+
+from repro.ftl.ftl import BaseFTL
+from repro.sim.logging import CompletionLog
+from repro.sim.request import IORequest, OpType
+from repro.sim.ssd import SimulatedSSD
+
+
+def w(t, lpn, value):
+    return IORequest(t, OpType.WRITE, lpn, value)
+
+
+def r(t, lpn):
+    return IORequest(t, OpType.READ, lpn, 0)
+
+
+class TestCompletionLog:
+    def test_records_everything_by_default(self, tiny_config):
+        log = CompletionLog()
+        device = SimulatedSSD(BaseFTL(tiny_config), log=log)
+        for i in range(10):
+            device.submit(w(i * 1000.0, i, i))
+        assert len(log) == 10
+        assert log.total_seen == 10
+
+    def test_sampling_keeps_every_kth(self, tiny_config):
+        log = CompletionLog(sample_every=3)
+        device = SimulatedSSD(BaseFTL(tiny_config), log=log)
+        for i in range(10):
+            device.submit(w(i * 1000.0, i, i))
+        assert len(log) == 4  # indices 0, 3, 6, 9
+        assert log.total_seen == 10
+
+    def test_invalid_sampling(self):
+        with pytest.raises(ValueError):
+            CompletionLog(sample_every=0)
+
+    def test_filter_by_op(self, tiny_config):
+        log = CompletionLog()
+        device = SimulatedSSD(BaseFTL(tiny_config), log=log)
+        device.submit(w(0.0, 0, 1))
+        device.submit(r(1000.0, 0))
+        assert len(log.records(op=OpType.WRITE)) == 1
+        assert len(log.records(op=OpType.READ)) == 1
+
+    def test_filter_by_time(self, tiny_config):
+        log = CompletionLog()
+        device = SimulatedSSD(BaseFTL(tiny_config), log=log)
+        device.submit(w(0.0, 0, 1))
+        device.submit(w(5000.0, 1, 2))
+        assert len(log.records(since_us=1000.0)) == 1
+
+    def test_latencies_match_metrics(self, tiny_config):
+        log = CompletionLog()
+        device = SimulatedSSD(BaseFTL(tiny_config), log=log)
+        for i in range(20):
+            device.submit(w(i * 500.0, i % 4, i))
+        assert sorted(log.latencies()) == sorted(
+            device.writes._samples  # noqa: SLF001 - test introspection
+        )
+
+    def test_flags_logged(self, tiny_config):
+        from repro.core.dvp import InfiniteDeadValuePool
+
+        log = CompletionLog()
+        ftl = BaseFTL(tiny_config, pool=InfiniteDeadValuePool())
+        device = SimulatedSSD(ftl, log=log)
+        device.submit(w(0.0, 0, 1))
+        device.submit(w(1000.0, 0, 2))
+        device.submit(w(2000.0, 1, 1))  # revival
+        records = log.records()
+        assert records[2].short_circuited
+        assert not records[0].short_circuited
+
+    def test_no_log_attached_is_fine(self, tiny_config):
+        device = SimulatedSSD(BaseFTL(tiny_config))
+        device.submit(w(0.0, 0, 1))
+        assert device.log is None

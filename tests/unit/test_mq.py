@@ -1,0 +1,145 @@
+"""Unit tests for the Multi-Queue replacement algorithm."""
+
+import pytest
+
+from repro.core.mq import MultiQueue, queue_index_for_popularity
+
+
+class TestQueueIndex:
+    def test_logarithmic_placement(self):
+        # floor(log2(pop + 1))
+        assert queue_index_for_popularity(0, 8) == 0
+        assert queue_index_for_popularity(1, 8) == 1
+        assert queue_index_for_popularity(2, 8) == 1
+        assert queue_index_for_popularity(3, 8) == 2
+        assert queue_index_for_popularity(7, 8) == 3
+        assert queue_index_for_popularity(255, 8) == 7
+
+    def test_clamped_to_queue_count(self):
+        assert queue_index_for_popularity(10_000, 4) == 3
+
+    def test_negative_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            queue_index_for_popularity(-1, 8)
+
+
+class TestInsertAndAccess:
+    def test_insert_goes_to_lowest_queue(self):
+        mq = MultiQueue(capacity=8, num_queues=4)
+        mq.insert("a", "payload", now=1)
+        assert mq.entry("a").queue_index == 0
+        assert mq.keys_in_queue(0) == ["a"]
+
+    def test_insert_duplicate_key_raises(self):
+        mq = MultiQueue(capacity=8)
+        mq.insert("a", 1, now=1)
+        with pytest.raises(KeyError):
+            mq.insert("a", 2, now=2)
+
+    def test_access_missing_returns_none(self):
+        mq = MultiQueue(capacity=8)
+        assert mq.access("ghost", now=1) is None
+
+    def test_access_bumps_popularity_and_promotes(self):
+        mq = MultiQueue(capacity=8, num_queues=4)
+        mq.insert("a", "x", now=1)           # popularity 1
+        mq.access("a", now=2)                # popularity 2 -> target Q1
+        entry = mq.entry("a")
+        assert entry.popularity == 2
+        assert entry.queue_index == 1
+        assert mq.promotions == 1
+
+    def test_promotion_is_one_queue_at_a_time(self):
+        mq = MultiQueue(capacity=8, num_queues=8)
+        mq.insert("a", "x", now=1, popularity=100)  # target would be Q6
+        assert mq.entry("a").queue_index == 0        # inserts start at Q0
+        mq.access("a", now=2)
+        assert mq.entry("a").queue_index == 1        # climbed exactly one
+
+    def test_access_moves_to_tail(self):
+        mq = MultiQueue(capacity=8, num_queues=1)
+        mq.insert("a", 1, now=1)
+        mq.insert("b", 2, now=2)
+        mq.access("a", now=3)
+        assert mq.keys_in_queue(0) == ["b", "a"]
+
+
+class TestEviction:
+    def test_eviction_from_lowest_nonempty_queue(self):
+        mq = MultiQueue(capacity=2, num_queues=4)
+        mq.insert("a", 1, now=1)
+        mq.insert("b", 2, now=2)
+        for now in range(3, 6):
+            mq.access("b", now=now)  # b climbs queues
+        evicted = mq.insert("c", 3, now=6)
+        assert evicted == ("a", 1)
+        assert "b" in mq and "c" in mq
+
+    def test_capacity_never_exceeded(self):
+        mq = MultiQueue(capacity=3, num_queues=4)
+        for i in range(10):
+            mq.insert(i, i, now=i)
+            assert len(mq) <= 3
+            mq.check_invariants()
+
+    def test_evict_one_on_empty_returns_none(self):
+        assert MultiQueue(capacity=2).evict_one() is None
+
+    def test_remove(self):
+        mq = MultiQueue(capacity=4)
+        mq.insert("a", "p", now=1)
+        assert mq.remove("a") == "p"
+        assert mq.remove("a") is None
+        assert len(mq) == 0
+        mq.check_invariants()
+
+
+class TestAging:
+    def test_expired_head_is_demoted(self):
+        mq = MultiQueue(capacity=8, num_queues=4, default_lifetime=5)
+        mq.insert("a", 1, now=0)
+        mq.access("a", now=1)   # Q1, expire = 1 + lifetime
+        assert mq.entry("a").queue_index == 1
+        # Advance far beyond the expiration; any update runs demotions.
+        mq.insert("b", 2, now=100)
+        assert mq.entry("a").queue_index == 0
+        assert mq.demotions >= 1
+
+    def test_hottest_interval_tracks_reaccess_gap(self):
+        mq = MultiQueue(capacity=8, num_queues=4, default_lifetime=50)
+        mq.insert("hot", 1, now=0)
+        mq.access("hot", now=10)
+        assert mq.hottest_interval == 10
+        mq.access("hot", now=13)
+        assert mq.hottest_interval == 3
+
+    def test_fresh_entry_not_demoted_before_expiry(self):
+        mq = MultiQueue(capacity=8, num_queues=4, default_lifetime=1000)
+        mq.insert("a", 1, now=0)
+        mq.access("a", now=1)
+        mq.insert("b", 2, now=2)
+        assert mq.entry("a").queue_index == 1
+
+
+class TestValidation:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MultiQueue(capacity=0)
+
+    def test_invalid_num_queues(self):
+        with pytest.raises(ValueError):
+            MultiQueue(capacity=4, num_queues=0)
+
+    def test_set_popularity_replaces_and_requires_residency(self):
+        mq = MultiQueue(capacity=4, num_queues=8)
+        mq.insert("a", 1, now=1)
+        mq.set_popularity("a", 200, now=2)
+        assert mq.entry("a").popularity == 200
+        with pytest.raises(KeyError):
+            mq.set_popularity("ghost", 5, now=3)
+
+    def test_queue_lengths_sum_to_len(self):
+        mq = MultiQueue(capacity=16, num_queues=4)
+        for i in range(10):
+            mq.insert(i, i, now=i)
+        assert sum(mq.queue_lengths()) == len(mq) == 10

@@ -1,0 +1,143 @@
+"""Unit tests for the LRU and LFU building blocks."""
+
+import pytest
+
+from repro.core.policies import LFUCache, LRUCache
+
+
+class TestLRUBasics:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_get_missing_returns_none(self):
+        assert LRUCache(2).get("x") is None
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        evicted = cache.put("c", 3)
+        assert evicted == ("a", 1)
+        assert "a" not in cache
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        evicted = cache.put("c", 3)
+        assert evicted == ("b", 2)
+
+    def test_peek_does_not_refresh(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.peek("a")
+        evicted = cache.put("c", 3)
+        assert evicted == ("a", 1)
+
+    def test_put_existing_updates_value_no_eviction(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.put("a", 10) is None
+        assert cache.get("a") == 10
+
+    def test_pop(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert cache.pop("a") is None
+        assert len(cache) == 0
+
+    def test_pop_lru(self):
+        cache = LRUCache(3)
+        for i, k in enumerate("abc"):
+            cache.put(k, i)
+        assert cache.pop_lru() == ("a", 0)
+
+    def test_lru_key(self):
+        cache = LRUCache(3)
+        assert cache.lru_key() is None
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.lru_key() == "a"
+
+    def test_items_iteration_cold_to_hot(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert [k for k, _ in cache.items_lru_to_mru()] == ["b", "a"]
+
+
+class TestLFUBasics:
+    def test_put_get(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.frequency("a") == 2  # put + get
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LFUCache(0)
+
+    def test_evicts_least_frequent(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        evicted = cache.put("c", 3)
+        assert evicted == ("b", 2)
+
+    def test_lru_tiebreak_among_equal_frequency(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        evicted = cache.put("c", 3)  # a and b both freq 1; a is older
+        assert evicted == ("a", 1)
+
+    def test_frequency_of_missing_is_zero(self):
+        assert LFUCache(2).frequency("x") == 0
+
+    def test_put_existing_bumps_frequency(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.frequency("a") == 2
+        assert cache.get("a") == 2
+
+    def test_pop_removes(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        assert cache.pop("a") == 1
+        assert "a" not in cache
+        assert cache.pop("a") is None
+
+    def test_eviction_after_pop_consistent(self):
+        cache = LFUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.pop("a")
+        cache.put("c", 3)
+        assert cache.put("d", 4) in (("b", 2), ("c", 3))
+        assert len(cache) == 2
+
+    def test_lfu_never_ages(self):
+        """A once-hot entry pins its slot forever — the flaw Section II-B
+        ascribes to LFU and the reason MQ adds expiration."""
+        cache = LFUCache(2)
+        cache.put("hot", 1)
+        for _ in range(10):
+            cache.get("hot")
+        cache.put("b", 2)
+        for newcomer in "cdefg":
+            evicted = cache.put(newcomer, 0)
+            assert evicted is not None
+            assert evicted[0] != "hot"

@@ -1,0 +1,136 @@
+"""Unit tests for workload profiles and Table II calibration."""
+
+import pytest
+
+from repro.sim.request import IORequest, OpType
+from repro.traces.profiles import (
+    PROFILES,
+    TableIITargets,
+    audit_trace,
+    profile_by_name,
+)
+from repro.traces.synthetic import generate_trace
+
+from ..conftest import make_profile
+
+
+class TestProfileRegistry:
+    def test_all_six_paper_workloads(self):
+        assert set(PROFILES) == {
+            "web", "home", "mail", "hadoop", "trans", "desktop",
+        }
+
+    def test_profile_by_name(self):
+        assert profile_by_name("mail").name == "mail"
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            profile_by_name("nope")
+
+    def test_table2_write_ratios_encoded(self):
+        assert profile_by_name("home").targets.write_ratio == 0.96
+        assert profile_by_name("hadoop").targets.write_ratio == 0.30
+        assert profile_by_name("mail").targets.unique_write_frac == 0.08
+
+    def test_mail_has_largest_footprint(self):
+        mail = profile_by_name("mail").working_set_pages
+        assert all(
+            mail >= p.working_set_pages for p in PROFILES.values()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_profile(new_value_prob=1.5)
+        with pytest.raises(ValueError):
+            make_profile(working_set_pages=0)
+        with pytest.raises(ValueError):
+            make_profile(mean_interarrival_us=0)
+        with pytest.raises(ValueError):
+            make_profile(cold_region_factor=0.5)
+        with pytest.raises(ValueError):
+            make_profile(fill_fraction=0.0)
+
+
+class TestDerivedProfiles:
+    def test_scaled_shrinks_together(self):
+        base = profile_by_name("mail")
+        scaled = base.scaled(0.5)
+        assert scaled.num_requests == base.num_requests // 2
+        assert scaled.working_set_pages == base.working_set_pages // 2
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            profile_by_name("mail").scaled(0)
+
+    def test_day_variants_differ(self):
+        base = profile_by_name("mail")
+        d1, d2 = base.day(1), base.day(2)
+        assert d1.name == "m1" and d2.name == "m2"
+        assert d1.seed != d2.seed
+        assert d1.targets == base.targets
+
+    def test_day_index_starts_at_one(self):
+        with pytest.raises(ValueError):
+            profile_by_name("mail").day(0)
+
+    def test_day_traces_are_different_but_similar(self):
+        base = profile_by_name("mail").scaled(0.05)
+        t1 = generate_trace(base.day(1))
+        t2 = generate_trace(base.day(2))
+        assert t1 != t2
+        a1, a2 = audit_trace(t1), audit_trace(t2)
+        assert abs(a1.write_ratio - a2.write_ratio) < 0.05
+
+    def test_total_pages_includes_cold_region(self):
+        profile = make_profile(working_set_pages=100, cold_region_factor=3.0)
+        assert profile.total_pages == 300
+
+
+class TestAudit:
+    def test_empty_trace(self):
+        audit = audit_trace([])
+        assert audit.requests == 0
+        assert audit.write_ratio == 0.0
+
+    def test_counts_unique_values_exactly(self):
+        trace = [
+            IORequest(0, OpType.WRITE, 0, 1),
+            IORequest(1, OpType.WRITE, 1, 1),   # value 1 written twice
+            IORequest(2, OpType.WRITE, 2, 2),   # value 2 once -> unique
+            IORequest(3, OpType.READ, 0, 1),
+            IORequest(4, OpType.READ, 2, 2),    # each read value once
+        ]
+        audit = audit_trace(trace)
+        assert audit.writes == 3 and audit.reads == 2
+        assert audit.unique_write_frac == pytest.approx(1 / 3)
+        assert audit.unique_read_frac == 1.0
+        assert audit.row()  # renders
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_calibration_near_table2(self, name):
+        """Generated traces audit close to the published Table II numbers.
+
+        Write ratio is exact by construction; unique-value fractions are
+        emergent, so they get a loose absolute tolerance.
+        """
+        profile = profile_by_name(name).scaled(0.2)
+        audit = audit_trace(generate_trace(profile))
+        targets = profile.targets
+        assert audit.write_ratio == pytest.approx(targets.write_ratio, abs=0.02)
+        assert audit.unique_write_frac == pytest.approx(
+            targets.unique_write_frac, abs=0.08
+        )
+        assert audit.unique_read_frac == pytest.approx(
+            targets.unique_read_frac, abs=0.17
+        )
+
+    def test_mail_is_most_redundant(self):
+        audits = {
+            name: audit_trace(generate_trace(p.scaled(0.1)))
+            for name, p in PROFILES.items()
+        }
+        mail = audits["mail"].unique_write_frac
+        assert all(
+            mail <= a.unique_write_frac
+            for name, a in audits.items() if name != "mail"
+        )

@@ -1,0 +1,51 @@
+"""Unit tests for plain-text rendering."""
+
+from repro.analysis.report import render_bars, render_series, render_table
+
+
+class TestRenderTable:
+    def test_headers_and_rows(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.50" in text and "30" in text
+
+    def test_column_alignment(self):
+        text = render_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(lines[0]) == len(lines[1]) == len(lines[2])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderSeries:
+    def test_labels_and_points(self):
+        text = render_series({"s1": [(1, 0.5), (2, 0.75)]}, title="Fig")
+        assert "Fig" in text
+        assert "[s1]" in text
+        assert "1: 0.500" in text
+
+    def test_custom_format(self):
+        text = render_series({"s": [(1, 0.123456)]}, y_format="{:.1f}")
+        assert "0.1" in text
+
+
+class TestRenderBars:
+    def test_bar_lengths_proportional(self):
+        text = render_bars({"a": 10.0, "b": 20.0}, width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_empty(self):
+        assert render_bars({}, title="t") == "t"
+
+    def test_zero_values_no_crash(self):
+        text = render_bars({"a": 0.0})
+        assert "a" in text
+
+    def test_title_first(self):
+        assert render_bars({"a": 1.0}, title="T").splitlines()[0] == "T"

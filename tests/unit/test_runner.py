@@ -1,0 +1,121 @@
+"""Unit tests for the experiment runner (prefill, scaling, run_system)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    ExperimentContext,
+    config_for_profile,
+    prefill,
+    run_system,
+    scaled_pool_entries,
+)
+from repro.ftl.dvp_ftl import make_mq_dvp
+from repro.ftl.ftl import BaseFTL
+from repro.traces.profiles import profile_by_name
+from repro.traces.synthetic import initial_value_of
+
+from ..conftest import make_profile
+
+
+class TestPoolScaling:
+    def test_proportional(self):
+        double = scaled_pool_entries(200_000, 0.5)
+        single = scaled_pool_entries(100_000, 0.5)
+        assert double == pytest.approx(2 * single, abs=2)
+
+    def test_floor(self):
+        assert scaled_pool_entries(100, 0.001) == 64
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            scaled_pool_entries(0, 1.0)
+
+
+class TestConfigForProfile:
+    def test_drive_covers_footprint_with_slack(self):
+        profile = make_profile(working_set_pages=1000, cold_region_factor=2.0)
+        config = config_for_profile(profile)
+        assert config.logical_pages >= profile.total_pages / profile.fill_fraction * 0.99
+
+    def test_lower_fill_fraction_bigger_drive(self):
+        # Use a footprint large enough that the 16-blocks/plane floor of
+        # scaled_config does not mask the fill-fraction difference.
+        tight = config_for_profile(
+            make_profile(working_set_pages=20_000, fill_fraction=0.95)
+        )
+        loose = config_for_profile(
+            make_profile(working_set_pages=20_000, fill_fraction=0.5)
+        )
+        assert loose.total_pages > tight.total_pages
+
+
+class TestPrefill:
+    def test_fills_every_page_with_initial_value(self):
+        profile = make_profile(working_set_pages=200, num_requests=10)
+        ftl = BaseFTL(config_for_profile(profile))
+        pages = prefill(ftl, profile)
+        assert pages == profile.total_pages
+        for lpn in (0, pages // 2, pages - 1):
+            ppn = ftl.mapping.lookup(lpn)
+            assert ppn is not None
+            assert ftl.fingerprint_at(ppn).key == initial_value_of(lpn)
+
+    def test_counters_reset_after_prefill(self):
+        profile = make_profile(working_set_pages=200, num_requests=10)
+        ftl = make_mq_dvp(config_for_profile(profile), 64)
+        prefill(ftl, profile)
+        assert ftl.counters.host_writes == 0
+        assert ftl.counters.programs == 0
+        assert ftl.pool.stats.insertions == 0
+
+
+class TestRunSystem:
+    @pytest.fixture(scope="class")
+    def context(self):
+        profile = make_profile(num_requests=3000, working_set_pages=400)
+        return ExperimentContext(
+            profile=profile,
+            trace=__import__(
+                "repro.traces.synthetic", fromlist=["generate_trace"]
+            ).generate_trace(profile),
+            config=config_for_profile(profile),
+        )
+
+    def test_baseline_run_counts_all_requests(self, context):
+        result = run_system("baseline", context, scale=0.01)
+        counters = result.counters
+        assert (
+            counters.host_writes + counters.host_reads
+            == context.profile.num_requests
+        )
+
+    def test_dvp_run_short_circuits(self, context):
+        result = run_system("mq-dvp", context, 200_000, scale=0.05)
+        assert result.counters.short_circuits > 0
+        assert result.pool_stats is not None
+
+    def test_results_are_labelled(self, context):
+        result = run_system("baseline", context, scale=0.01)
+        assert result.system == "baseline"
+        assert result.workload == context.profile.name
+
+    def test_for_workload_builds_everything(self):
+        context = ExperimentContext.for_workload("desktop", 0.02)
+        assert context.profile.name == "desktop"
+        assert len(context.trace) == context.profile.num_requests
+        assert context.config.logical_pages >= context.profile.total_pages
+
+    def test_deterministic_across_runs(self, context):
+        a = run_system("mq-dvp", context, 200_000, scale=0.05)
+        b = run_system("mq-dvp", context, 200_000, scale=0.05)
+        assert a.summary() == b.summary()
+
+
+class TestRunnerAgainstPaperWorkload(object):
+    def test_small_scale_mail_improves_over_baseline(self):
+        """End-of-pipe sanity: on mail, the proposal must beat baseline."""
+        context = ExperimentContext.for_workload("mail", 0.05)
+        base = run_system("baseline", context, scale=0.05)
+        dvp = run_system("mq-dvp", context, 200_000, scale=0.05)
+        assert dvp.flash_writes < base.flash_writes
+        assert dvp.mean_latency_us < base.mean_latency_us

@@ -1,0 +1,48 @@
+"""Unit tests for the host-side queue-depth model."""
+
+import pytest
+
+from repro.sim.scheduler import HostQueue
+
+
+class TestUnlimitedDepth:
+    def test_admits_immediately(self):
+        queue = HostQueue()
+        assert queue.admit(5.0) == 5.0
+        queue.register(100.0)
+        assert queue.admit(6.0) == 6.0
+
+
+class TestLimitedDepth:
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            HostQueue(depth=0)
+
+    def test_admits_until_full(self):
+        queue = HostQueue(depth=2)
+        assert queue.admit(0.0) == 0.0
+        queue.register(100.0)
+        assert queue.admit(1.0) == 1.0
+        queue.register(200.0)
+        # Queue full: third request waits for the earliest completion.
+        assert queue.admit(2.0) == 100.0
+
+    def test_completions_free_slots(self):
+        queue = HostQueue(depth=1)
+        queue.admit(0.0)
+        queue.register(50.0)
+        # Arriving after the completion: admitted at its own arrival.
+        assert queue.admit(60.0) == 60.0
+
+    def test_in_flight_count(self):
+        queue = HostQueue(depth=4)
+        queue.register(100.0)
+        queue.register(200.0)
+        assert queue.in_flight(150.0) == 1
+        assert queue.in_flight(250.0) == 0
+
+    def test_max_observed(self):
+        queue = HostQueue(depth=8)
+        for finish in (10.0, 20.0, 30.0):
+            queue.register(finish)
+        assert queue.max_observed == 3

@@ -1,0 +1,155 @@
+"""Unit tests for trace transforms."""
+
+import pytest
+
+from repro.sim.request import IORequest, OpType
+from repro.traces.transforms import (
+    filter_ops,
+    interleave_tenants,
+    merge_traces,
+    scale_time,
+    shift_lpns,
+    take,
+    window,
+)
+
+
+def w(t, lpn, value=0):
+    return IORequest(t, OpType.WRITE, lpn, value)
+
+
+def r(t, lpn):
+    return IORequest(t, OpType.READ, lpn, 0)
+
+
+TRACE = [w(0.0, 0, 1), r(10.0, 0), w(20.0, 1, 2), w(30.0, 2, 3)]
+
+
+class TestScaleTime:
+    def test_compression(self):
+        out = list(scale_time(TRACE, 0.5))
+        assert [x.arrival_us for x in out] == [0.0, 5.0, 10.0, 15.0]
+        assert [x.lpn for x in out] == [x.lpn for x in TRACE]
+
+    def test_stretch(self):
+        out = list(scale_time(TRACE, 2.0))
+        assert out[-1].arrival_us == 60.0
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            list(scale_time(TRACE, 0.0))
+
+
+class TestWindow:
+    def test_selects_and_rebases(self):
+        out = list(window(TRACE, 10.0, 30.0))
+        assert [x.arrival_us for x in out] == [0.0, 10.0]
+        assert [x.lpn for x in out] == [0, 1]
+
+    def test_empty_window(self):
+        assert list(window(TRACE, 100.0, 200.0)) == []
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            list(window(TRACE, 10.0, 10.0))
+
+
+class TestTakeAndFilter:
+    def test_take(self):
+        assert len(list(take(TRACE, 2))) == 2
+        assert list(take(TRACE, 0)) == []
+        assert len(list(take(TRACE, 99))) == len(TRACE)
+
+    def test_take_negative(self):
+        with pytest.raises(ValueError):
+            list(take(TRACE, -1))
+
+    def test_filter_ops(self):
+        writes = list(filter_ops(TRACE, OpType.WRITE))
+        reads = list(filter_ops(TRACE, OpType.READ))
+        assert len(writes) == 3
+        assert len(reads) == 1
+        assert all(x.op is OpType.WRITE for x in writes)
+
+
+class TestShiftLpns:
+    def test_shift(self):
+        out = list(shift_lpns(TRACE, 100))
+        assert [x.lpn for x in out] == [100, 100, 101, 102]
+
+    def test_negative_result_rejected(self):
+        with pytest.raises(ValueError):
+            list(shift_lpns(TRACE, -5))
+
+
+class TestMerge:
+    def test_merge_keeps_time_order(self):
+        a = [w(0.0, 0), w(20.0, 1)]
+        b = [w(10.0, 5), w(30.0, 6)]
+        merged = list(merge_traces(a, b))
+        assert [x.arrival_us for x in merged] == [0.0, 10.0, 20.0, 30.0]
+
+    def test_merge_is_lazy_and_variadic(self):
+        def gen(base):
+            for i in range(3):
+                yield w(base + i * 10.0, 0)
+
+        merged = list(merge_traces(gen(0.0), gen(1.0), gen(2.0)))
+        assert len(merged) == 9
+        times = [x.arrival_us for x in merged]
+        assert times == sorted(times)
+
+
+class TestInterleaveTenants:
+    def test_disjoint_addresses_and_values(self):
+        a = [w(0.0, 0, 1), w(20.0, 1, 2)]
+        b = [w(10.0, 0, 1), w(30.0, 1, 2)]
+        out = interleave_tenants([a, b], pages_per_tenant=100)
+        assert [x.lpn for x in out] == [0, 100, 1, 101]
+        values = {x.value_id for x in out}
+        assert len(values) == 4  # identical tenant contents kept distinct
+
+    def test_lpn_range_enforced(self):
+        with pytest.raises(ValueError):
+            interleave_tenants([[w(0.0, 150, 1)]], pages_per_tenant=100)
+
+    def test_single_tenant_passthrough_lpns(self):
+        a = [w(0.0, 3, 7)]
+        out = interleave_tenants([a], pages_per_tenant=10)
+        assert out[0].lpn == 3
+
+    def test_invalid_pages_per_tenant(self):
+        with pytest.raises(ValueError):
+            interleave_tenants([[]], pages_per_tenant=0)
+
+    def test_shared_values_enable_cross_tenant_revival(self, tiny_config):
+        """With share_values=True, one tenant's dead content can serve
+        another tenant's write through the pool."""
+        from repro.core.dvp import InfiniteDeadValuePool
+        from repro.ftl.ftl import BaseFTL
+
+        tenant_a = [w(0.0, 0, 777), w(10.0, 0, 1)]    # 777 dies at t=10
+        tenant_b = [w(20.0, 0, 777)]                   # b writes the same
+        for shared, expect in ((True, 1), (False, 0)):
+            trace = interleave_tenants(
+                [tenant_a, tenant_b], pages_per_tenant=64,
+                share_values=shared,
+            )
+            ftl = BaseFTL(tiny_config, pool=InfiniteDeadValuePool())
+            for request in trace:
+                ftl.write(request.lpn, request.fingerprint)
+            assert ftl.counters.short_circuits == expect
+
+
+class TestTransformsFeedTheSimulator:
+    def test_compressed_trace_raises_load(self, tiny_config):
+        """End-to-end: compressing arrivals increases queueing latency."""
+        from repro.ftl.ftl import BaseFTL
+        from repro.sim.ssd import replay
+
+        base = [w(i * 2000.0, i % 8, i) for i in range(200)]
+        relaxed = replay(BaseFTL(tiny_config), base)
+        compressed = replay(
+            BaseFTL(tiny_config), list(scale_time(base, 0.05))
+        )
+        assert compressed.mean_latency_us >= relaxed.mean_latency_us

@@ -1,0 +1,60 @@
+"""Unit tests for wear accounting."""
+
+import pytest
+
+from repro.flash.array import FlashArray
+from repro.ftl.wear import WearTracker
+
+
+def wear_block(array: FlashArray, block: int, times: int) -> None:
+    for _ in range(times):
+        ppn = array.program_in_block(block)
+        array.invalidate(ppn)
+        # erase requires no valid pages; invalidate everything programmed
+        while array.block(block).write_pointer < 1:
+            pass
+        array.erase(block)
+
+
+class TestWearStats:
+    def test_fresh_drive_has_zero_wear(self, tiny_config):
+        tracker = WearTracker(FlashArray(tiny_config))
+        stats = tracker.stats()
+        assert stats.total_erases == 0
+        assert stats.spread == 0
+        assert stats.mean_erases == 0.0
+
+    def test_stats_after_erases(self, tiny_config):
+        array = FlashArray(tiny_config)
+        wear_block(array, 0, 3)
+        wear_block(array, 1, 1)
+        stats = WearTracker(array).stats()
+        assert stats.total_erases == 4
+        assert stats.max_erases == 3
+        assert stats.min_erases == 0
+        assert stats.spread == 3
+
+    def test_histogram_order(self, tiny_config):
+        array = FlashArray(tiny_config)
+        wear_block(array, 2, 2)
+        hist = WearTracker(array).erase_histogram()
+        assert hist[2] == 2
+        assert sum(hist) == 2
+
+
+class TestWearGuard:
+    def test_fresh_blocks_allowed(self, tiny_config):
+        tracker = WearTracker(FlashArray(tiny_config))
+        assert tracker.allows_erase(0)
+
+    def test_hot_block_vetoed(self, tiny_config):
+        array = FlashArray(tiny_config)
+        tracker = WearTracker(array, guard_margin=2)
+        wear_block(array, 0, 5)
+        # block 0 is 5 erases above the (near-zero) mean, margin is 2
+        assert not tracker.allows_erase(0)
+        assert tracker.allows_erase(1)
+
+    def test_negative_margin_rejected(self, tiny_config):
+        with pytest.raises(ValueError):
+            WearTracker(FlashArray(tiny_config), guard_margin=-1)

@@ -1,0 +1,99 @@
+"""Unit tests for Zipf sampling."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.traces.zipf import ZipfSampler, top_fraction_share, zipf_rank
+
+
+class TestZipfRank:
+    def test_bounds(self):
+        rng = random.Random(1)
+        for n in (1, 2, 10, 1000):
+            for _ in range(200):
+                assert 1 <= zipf_rank(rng, n, 1.1) <= n
+
+    def test_n_one_always_one(self):
+        rng = random.Random(1)
+        assert all(zipf_rank(rng, 1, 1.0) == 1 for _ in range(10))
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_rank(random.Random(1), 0, 1.0)
+
+    def test_skew_concentrates_on_low_ranks(self):
+        rng = random.Random(42)
+        draws = [zipf_rank(rng, 1000, 1.2) for _ in range(20_000)]
+        counts = Counter(draws)
+        top10 = sum(counts[r] for r in range(1, 11))
+        assert top10 / len(draws) > 0.4
+
+    def test_s1_log_branch(self):
+        rng = random.Random(42)
+        draws = [zipf_rank(rng, 1000, 1.0) for _ in range(20_000)]
+        counts = Counter(draws)
+        assert counts[1] > counts.get(500, 0)
+
+    def test_higher_s_more_skew(self):
+        rng1, rng2 = random.Random(7), random.Random(7)
+        mild = [zipf_rank(rng1, 1000, 0.8) for _ in range(20_000)]
+        steep = [zipf_rank(rng2, 1000, 1.5) for _ in range(20_000)]
+        assert Counter(steep)[1] > Counter(mild)[1]
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(100, 1.0)
+        total = sum(sampler.probability(i) for i in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_rank_zero_most_probable(self):
+        sampler = ZipfSampler(100, 1.0)
+        assert sampler.probability(0) > sampler.probability(1)
+
+    def test_sample_in_range(self):
+        sampler = ZipfSampler(50, 1.2)
+        rng = random.Random(3)
+        assert all(0 <= sampler.sample(rng) < 50 for _ in range(1000))
+
+    def test_s_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0)
+        assert sampler.probability(0) == pytest.approx(0.1)
+        assert sampler.probability(9) == pytest.approx(0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.1)
+        with pytest.raises(IndexError):
+            ZipfSampler(10, 1.0).probability(10)
+
+    def test_empirical_matches_theoretical(self):
+        sampler = ZipfSampler(20, 1.0)
+        rng = random.Random(11)
+        counts = Counter(sampler.sample(rng) for _ in range(50_000))
+        assert counts[0] / 50_000 == pytest.approx(sampler.probability(0), rel=0.1)
+
+
+class TestTopFractionShare:
+    def test_uniform_counts(self):
+        assert top_fraction_share([10] * 10, 0.2) == pytest.approx(0.2)
+
+    def test_all_mass_on_one(self):
+        counts = [100] + [0] * 9
+        assert top_fraction_share(counts, 0.1) == 1.0
+
+    def test_empty(self):
+        assert top_fraction_share([], 0.2) == 0.0
+
+    def test_zero_total(self):
+        assert top_fraction_share([0, 0, 0], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            top_fraction_share([1], 0.0)
+        with pytest.raises(ValueError):
+            top_fraction_share([1], 1.5)
