@@ -80,6 +80,23 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--pool", type=int, default=200_000,
                        help="pool size in paper-label entries (default 200K)")
     run_p.add_argument("--json", action="store_true")
+    run_p.add_argument(
+        "--obs", metavar="PATH", default=None,
+        help="write a JSONL time series of internal state to PATH "
+             "(see DESIGN.md, 'Observability')",
+    )
+    run_p.add_argument(
+        "--obs-interval", type=int, default=1000, metavar="N",
+        help="sample every N completed host requests (default 1000)",
+    )
+    run_p.add_argument(
+        "--obs-interval-us", type=float, default=None, metavar="M",
+        help="also sample every M simulated microseconds",
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help="trace wall-clock spans (FTL write/read, GC) and print them",
+    )
     add_common(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare systems on one workload")
@@ -122,7 +139,40 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     context = ExperimentContext.for_workload(args.workload, args.scale)
-    result = run_system(args.system, context, args.pool, args.scale)
+    observer = writer = registry = tracer = None
+    if args.obs:
+        from .obs import JsonlWriter, MetricRegistry, TimeSeriesSampler
+
+        registry = MetricRegistry()
+        try:
+            # Validate the cadence before opening the output file so a
+            # bad flag value does not leave an empty JSONL behind.
+            observer = TimeSeriesSampler(
+                interval_requests=args.obs_interval,
+                interval_us=args.obs_interval_us,
+                registry=registry,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            writer = JsonlWriter(args.obs)
+        except OSError as exc:
+            print(f"error: cannot open --obs file: {exc}", file=sys.stderr)
+            return 2
+        observer.sink = writer
+    if args.profile:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    try:
+        result = run_system(
+            args.system, context, args.pool, args.scale,
+            observer=observer, registry=registry, tracer=tracer,
+        )
+    finally:
+        if writer is not None:
+            writer.close()
     summary = result.summary()
     if args.json:
         print(json.dumps(summary, indent=2, sort_keys=True))
@@ -131,6 +181,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(render_table(
             ["metric", "value"], rows,
             title=f"{args.system} on {args.workload} (scale {args.scale})",
+        ))
+    if observer is not None:
+        print(f"observability: {observer.sample_count} samples -> {args.obs}",
+              file=sys.stderr)
+    if tracer is not None:
+        print(render_table(
+            ["span", "count", "total (s)", "mean (us)", "max (us)"],
+            [
+                (name, s["count"], f"{s['total_s']:.3f}",
+                 f"{s['mean_us']:.1f}", f"{s['max_us']:.1f}")
+                for name, s in tracer.summary().items()
+            ],
+            title="wall-clock profile",
         ))
     return 0
 

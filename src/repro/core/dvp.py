@@ -29,7 +29,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional
 
 from .hashing import Fingerprint
 from .mq import MultiQueue
@@ -65,10 +65,32 @@ class PoolStats:
 
 @dataclass
 class _PoolEntry:
-    """Per-fingerprint state: every PPN currently holding this dead value."""
+    """Per-fingerprint state: every PPN currently holding this dead value.
 
-    ppns: List[int] = field(default_factory=list)
+    PPNs live in an insertion-ordered dict keyed by PPN, so membership
+    tests and GC discards are O(1) while revival still pops the most
+    recently deceased copy (LIFO keeps the freshest page first).  GC of
+    a block holding popular garbage used to scan a list per page.
+    """
+
+    ppns: Dict[int, None] = field(default_factory=dict)
     popularity: int = 1
+
+    def add_ppn(self, ppn: int) -> None:
+        """Track ``ppn``, (re)placing it at the fresh end of the order."""
+        self.ppns.pop(ppn, None)
+        self.ppns[ppn] = None
+
+    def take_ppn(self) -> int:
+        """Pop the most recently deceased PPN."""
+        return self.ppns.popitem()[0]
+
+    def discard(self, ppn: int) -> bool:
+        """Stop tracking ``ppn``; True when it was tracked."""
+        if ppn in self.ppns:
+            del self.ppns[ppn]
+            return True
+        return False
 
 
 class DeadValuePool(ABC):
@@ -135,7 +157,7 @@ class DeadValuePool(ABC):
 
 def _take_ppn(entry: _PoolEntry) -> int:
     """Pop the most recently deceased PPN (LIFO keeps the freshest copy)."""
-    return entry.ppns.pop()
+    return entry.take_ppn()
 
 
 class InfiniteDeadValuePool(DeadValuePool):
@@ -166,16 +188,15 @@ class InfiniteDeadValuePool(DeadValuePool):
         lpn: Optional[int] = None,
     ) -> List[int]:
         entry = self._entries.setdefault(fp, _PoolEntry(popularity=popularity))
-        entry.ppns.append(ppn)
+        entry.add_ppn(ppn)
         entry.popularity = max(entry.popularity, popularity)
         self.stats.insertions += 1
         return []
 
     def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
         entry = self._entries.get(fp)
-        if entry is None or ppn not in entry.ppns:
+        if entry is None or not entry.discard(ppn):
             return False
-        entry.ppns.remove(ppn)
         if not entry.ppns:
             del self._entries[fp]
         self.stats.gc_removals += 1
@@ -230,11 +251,11 @@ class LRUDeadValuePool(DeadValuePool):
         self.stats.insertions += 1
         entry = self._cache.peek(fp)
         if entry is not None:
-            entry.ppns.append(ppn)
+            entry.add_ppn(ppn)
             entry.popularity = max(entry.popularity, popularity)
             self._cache.get(fp)  # refresh recency
             return []
-        entry = _PoolEntry(ppns=[ppn], popularity=popularity)
+        entry = _PoolEntry(ppns={ppn: None}, popularity=popularity)
         evicted = self._cache.put(fp, entry)
         if evicted is None:
             return []
@@ -245,9 +266,8 @@ class LRUDeadValuePool(DeadValuePool):
 
     def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
         entry = self._cache.peek(fp)
-        if entry is None or ppn not in entry.ppns:
+        if entry is None or not entry.discard(ppn):
             return False
-        entry.ppns.remove(ppn)
         if not entry.ppns:
             self._cache.pop(fp)
         self.stats.gc_removals += 1
@@ -287,6 +307,15 @@ class MQDeadValuePool(DeadValuePool):
         """The underlying multi-queue (exposed for tests and reports)."""
         return self._mq
 
+    def register_metrics(self, registry) -> None:
+        """Register MQ gauges with a :class:`~repro.obs.MetricRegistry`."""
+        registry.gauge("mq.promotions", lambda: self._mq.promotions)
+        registry.gauge("mq.demotions", lambda: self._mq.demotions)
+        registry.gauge("mq.evictions", lambda: self._mq.evictions)
+        registry.gauge(
+            "mq.hottest_interval", lambda: self._mq.hottest_interval
+        )
+
     def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
         self.stats.lookups += 1
         entry = self._mq.get(fp)
@@ -313,12 +342,22 @@ class MQDeadValuePool(DeadValuePool):
         self.stats.insertions += 1
         existing = self._mq.get(fp)
         if existing is not None:
-            existing.ppns.append(ppn)
+            existing.add_ppn(ppn)
             existing.popularity = max(existing.popularity, popularity)
             self._mq.access(fp, now)
+            if popularity > self._mq.entry(fp).popularity:
+                # The 1-byte popularity persisted in the LPN-to-PPN table
+                # outran the MQ reference count (the value kept getting
+                # written while absent): sync the count and re-place.
+                self._mq.set_popularity(fp, popularity, now)
             return []
-        entry = _PoolEntry(ppns=[ppn], popularity=popularity)
+        entry = _PoolEntry(ppns={ppn: None}, popularity=popularity)
         evicted = self._mq.insert(fp, entry, now, popularity=popularity)
+        if popularity > 1:
+            # A popular value re-entering the pool must not restart in Q0:
+            # restore the persisted popularity so the entry lands in queue
+            # floor(log2(popularity + 1)) straight away (Section IV-C).
+            self._mq.set_popularity(fp, popularity, now)
         if evicted is None:
             return []
         self.stats.evictions += 1
@@ -328,9 +367,8 @@ class MQDeadValuePool(DeadValuePool):
 
     def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
         entry = self._mq.get(fp)
-        if entry is None or ppn not in entry.ppns:
+        if entry is None or not entry.discard(ppn):
             return False
-        entry.ppns.remove(ppn)
         if not entry.ppns:
             self._mq.remove(fp)
         self.stats.gc_removals += 1
@@ -380,7 +418,12 @@ class LBARecencyPool(DeadValuePool):
             raise ValueError("capacity must be positive")
         self._capacity = capacity
         self._by_lpn: "OrderedDict[int, _LbaEntry]" = OrderedDict()
-        self._fp_index: Dict[Fingerprint, Set[int]] = {}
+        # fp → insertion-ordered dict of LPNs whose slot holds that value.
+        # Dict (not set) so revival picks the most recently inserted LBA
+        # deterministically: set iteration order depends on hash seeding
+        # and insertion history, which made revived PPNs — and all GC
+        # state downstream — differ between runs of the same trace.
+        self._fp_index: Dict[Fingerprint, Dict[int, None]] = {}
         self._popularity_threshold = popularity_threshold
 
     @property
@@ -390,7 +433,7 @@ class LBARecencyPool(DeadValuePool):
     def _unindex(self, lpn: int, entry: _LbaEntry) -> None:
         lpns = self._fp_index.get(entry.fp)
         if lpns is not None:
-            lpns.discard(lpn)
+            lpns.pop(lpn, None)
             if not lpns:
                 del self._fp_index[entry.fp]
 
@@ -401,7 +444,8 @@ class LBARecencyPool(DeadValuePool):
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        lpn = next(iter(lpns))
+        # Most recently inserted LBA holding this value (deterministic).
+        lpn = next(reversed(lpns))
         entry = self._by_lpn.pop(lpn)
         self._unindex(lpn, entry)
         return entry.ppn
@@ -421,9 +465,12 @@ class LBARecencyPool(DeadValuePool):
         old = self._by_lpn.pop(lpn, None)
         if old is not None:
             # The hot-LBA slot is overwritten: the previous dead value at
-            # this address is silently lost (the scalability flaw).
+            # this address is silently lost (the scalability flaw).  This
+            # is an eviction like any other — count it as one, keeping
+            # evictions/evicted_ppns consistent with the other pools.
             self._unindex(lpn, old)
             dropped.append(old.ppn)
+            self.stats.evictions += 1
             self.stats.evicted_ppns += 1
         while len(self._by_lpn) >= self._capacity:
             victim_lpn, victim = self._by_lpn.popitem(last=False)
@@ -440,7 +487,7 @@ class LBARecencyPool(DeadValuePool):
             self.stats.evicted_ppns += 1
         entry = _LbaEntry(fp=fp, ppn=ppn, popularity=popularity)
         self._by_lpn[lpn] = entry
-        self._fp_index.setdefault(fp, set()).add(lpn)
+        self._fp_index.setdefault(fp, {})[lpn] = None
         return dropped
 
     def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:

@@ -196,12 +196,34 @@ class MultiQueue(Generic[K, V]):
 
     def set_popularity(self, key: K, popularity: int, now: int) -> None:
         """Overwrite the reference count (used when restoring the 1-byte
-        popularity persisted in the LPN-to-PPN table) and re-place the entry."""
+        popularity persisted in the LPN-to-PPN table) and re-place the entry.
+
+        Unlike :meth:`access` — which promotes one queue per touch — a
+        restore moves the entry straight to queue
+        ``floor(log2(popularity + 1))``: the persisted count is history
+        that was already earned, not a fresh access streak.
+        """
         entry = self._entries.get(key)
         if entry is None:
             raise KeyError(key)
         entry.popularity = max(1, popularity)
-        self._refresh(key, entry, now)
+        target = queue_index_for_popularity(entry.popularity, self._num_queues)
+        if target != entry.queue_index:
+            del self._queues[entry.queue_index][key]
+            if target > entry.queue_index:
+                self.promotions += 1
+            else:
+                self.demotions += 1
+            entry.queue_index = target
+            self._queues[target][key] = None
+        else:
+            # Same queue: refresh recency (move to MRU tail).
+            queue = self._queues[target]
+            del queue[key]
+            queue[key] = None
+        entry.expire_time = now + self._hottest_interval
+        self._note_access(key, entry, now)
+        self._run_demotions(now)
 
     def _refresh(self, key: K, entry: MQEntry[V], now: int) -> None:
         """Move ``key`` to the tail of its (possibly promoted) queue."""

@@ -18,7 +18,7 @@ puts GC in steady state from the first trace request.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from ..core.dvp import PoolStats
 from ..core.hashing import fingerprint_of_value
@@ -30,6 +30,9 @@ from ..sim.request import IORequest
 from ..sim.ssd import SimulatedSSD
 from ..traces.profiles import WorkloadProfile, profile_by_name
 from ..traces.synthetic import generate_trace, initial_value_of
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.sampler import TimeSeriesSampler
 
 __all__ = [
     "DEFAULT_SCALE",
@@ -107,15 +110,30 @@ def run_system(
     paper_pool_entries: int = 200_000,
     scale: float = DEFAULT_SCALE,
     queue_depth: Optional[int] = None,
+    observer: Optional["TimeSeriesSampler"] = None,
+    registry=None,
+    tracer=None,
 ) -> RunResult:
-    """Run one studied system over one prepared workload context."""
+    """Run one studied system over one prepared workload context.
+
+    ``observer`` (a :class:`~repro.obs.TimeSeriesSampler`) is attached
+    after preconditioning so samples cover only the measured trace
+    window; a final sample is forced at the run horizon so short traces
+    always produce at least one record.  ``registry``/``tracer`` are
+    wired through :meth:`BaseFTL.attach_observability`.
+    """
     entries = scaled_pool_entries(paper_pool_entries, scale)
     ftl = build_system(system, context.config, entries)
     prefill(ftl, context.profile)
-    device = SimulatedSSD(ftl, queue_depth=queue_depth)
-    return device.run(
+    if registry is not None or tracer is not None:
+        ftl.attach_observability(registry=registry, tracer=tracer)
+    device = SimulatedSSD(ftl, queue_depth=queue_depth, observer=observer)
+    result = device.run(
         context.trace, system=system, workload=context.profile.name
     )
+    if observer is not None:
+        observer.force_sample(device.horizon_us)
+    return result
 
 
 def run_matrix(

@@ -168,6 +168,9 @@ class BaseFTL:
             pool.drop_listener = self._clear_garbage_pop
         self.counters = FTLCounters()
         self.write_clock = 0
+        #: Optional :class:`~repro.obs.Tracer`; ``attach_observability``
+        #: sets it.  ``None`` keeps the hot path branch-predictable.
+        self.tracer = None
         # Content bookkeeping: fingerprint stored at each programmed PPN.
         self._ppn_fp: Dict[int, Fingerprint] = {}
         # Exact per-value write popularity, saturating at the 1-byte budget
@@ -197,11 +200,49 @@ class BaseFTL:
         return self._block_garbage_pop.get(block_global, 0)
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_observability(self, registry=None, tracer=None) -> "BaseFTL":
+        """Wire a :class:`~repro.obs.MetricRegistry` and/or
+        :class:`~repro.obs.Tracer` into the FTL, its collector and pool.
+
+        Safe to call on a live FTL; with both arguments ``None`` it is a
+        no-op.  Returns ``self`` for chaining.
+        """
+        if tracer is not None:
+            self.tracer = tracer
+            self.gc.tracer = tracer
+        if registry is not None:
+            registry.gauge(
+                "ftl.free_blocks",
+                lambda: sum(len(b) for b in self.allocator.free_blocks),
+            )
+            registry.gauge("ftl.write_clock", lambda: self.write_clock)
+            registry.gauge("gc.invocations", lambda: self.gc.invocations)
+            if self.pool is not None:
+                registry.gauge("pool.occupancy", lambda: len(self.pool))
+                registry.gauge(
+                    "pool.tracked_ppns",
+                    lambda: self.pool.tracked_ppn_count(),
+                )
+                register = getattr(self.pool, "register_metrics", None)
+                if register is not None:
+                    register(registry)
+        return self
+
+    # ------------------------------------------------------------------
     # Host operations
     # ------------------------------------------------------------------
 
     def write(self, lpn: int, fp: Fingerprint) -> WriteOutcome:
         """Service one 4KB host write of content ``fp`` at ``lpn``."""
+        if self.tracer is not None:
+            with self.tracer.span("ftl.write"):
+                return self._write_impl(lpn, fp)
+        return self._write_impl(lpn, fp)
+
+    def _write_impl(self, lpn: int, fp: Fingerprint) -> WriteOutcome:
         self._check_lpn(lpn)
         self.write_clock += 1
         self.counters.host_writes += 1
@@ -250,6 +291,12 @@ class BaseFTL:
 
     def read(self, lpn: int) -> ReadOutcome:
         """Service one 4KB host read."""
+        if self.tracer is not None:
+            with self.tracer.span("ftl.read"):
+                return self._read_impl(lpn)
+        return self._read_impl(lpn)
+
+    def _read_impl(self, lpn: int) -> ReadOutcome:
         self._check_lpn(lpn)
         self.counters.host_reads += 1
         ppn = self.mapping.lookup(lpn)

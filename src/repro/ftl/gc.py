@@ -172,6 +172,9 @@ class GarbageCollector:
         #: levelling shapes preference, never correctness.
         self.wear_guard = wear_guard
         self.invocations = 0
+        #: Optional :class:`~repro.obs.Tracer` wrapping collection passes
+        #: in a ``gc.collect`` span (set via ``BaseFTL.attach_observability``).
+        self.tracer = None
 
     # ------------------------------------------------------------------
 
@@ -214,6 +217,14 @@ class GarbageCollector:
         if not self.needs_collection(plane):
             return work
         self.invocations += 1
+        if self.tracer is not None:
+            with self.tracer.span("gc.collect"):
+                self._collect_to_watermark(plane, work)
+        else:
+            self._collect_to_watermark(plane, work)
+        return work
+
+    def _collect_to_watermark(self, plane: int, work: GCWork) -> None:
         for _ in range(self.max_blocks_per_invocation):
             if not self.needs_collection(plane):
                 break
@@ -241,7 +252,6 @@ class GarbageCollector:
             if victim is None:
                 break
             work.merge(self._collect_block(victim, plane))
-        return work
 
     def background_collect(self, plane: int, watermark: int) -> GCWork:
         """Opportunistic collection during idle time.

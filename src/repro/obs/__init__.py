@@ -1,0 +1,39 @@
+"""Observability: metrics, time series and tracing for the simulator.
+
+The evaluation sections of the paper reason about *internal* dynamics —
+pool occupancy over time, MQ queue-length distributions, GC pressure and
+cumulative write amplification — not just end-of-run aggregates.  This
+package provides that visibility without touching the hot paths when it
+is switched off:
+
+:class:`MetricRegistry`
+    Named counters and gauges subsystems register cheaply.  A disabled
+    registry hands out a shared no-op counter, so instrumented code pays
+    one attribute check and nothing else.
+:class:`TimeSeriesSampler`
+    Snapshots pool/MQ/FTL/GC state every N host requests or M simulated
+    microseconds and appends one JSON object per sample to a sink
+    (see :class:`JsonlWriter`).  DESIGN.md documents the schema.
+:class:`Tracer`
+    Span-based wall-clock profiler for the FTL write/read/GC paths and
+    the DES event loop.  Disabled tracers hand out a shared no-op span.
+:class:`JsonlWriter`
+    Line-per-object JSON sink used by the ``--obs`` CLI flag.
+"""
+
+from .export import JsonlWriter, read_jsonl
+from .registry import Counter, Gauge, MetricRegistry, NULL_COUNTER
+from .sampler import TimeSeriesSampler
+from .tracer import SpanStats, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricRegistry",
+    "NULL_COUNTER",
+    "TimeSeriesSampler",
+    "Tracer",
+    "SpanStats",
+    "JsonlWriter",
+    "read_jsonl",
+]

@@ -1,0 +1,118 @@
+"""Named counters and gauges with a zero-cost disabled mode.
+
+Subsystems ask the registry for a :class:`Counter` once (at construction
+or attach time) and then call ``inc()`` on the handle in their hot path.
+When the registry is disabled it hands out :data:`NULL_COUNTER`, whose
+``inc`` is a no-op — instrumented code never branches on an "enabled"
+flag itself.
+
+Gauges are pull-based: a callable sampled only when a snapshot is taken,
+so registering one costs nothing per request.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+__all__ = ["Counter", "Gauge", "MetricRegistry", "NULL_COUNTER"]
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class _NullCounter(Counter):
+    """Shared sink for disabled registries: counting is a no-op."""
+
+    __slots__ = ()
+
+    def inc(self, amount: Number = 1) -> None:
+        pass
+
+
+#: The one no-op counter every disabled registry hands out.
+NULL_COUNTER = _NullCounter("null")
+
+
+class Gauge:
+    """A named pull-based gauge: ``fn`` is called at snapshot time."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], Number]):
+        self.name = name
+        self.fn = fn
+
+    def read(self) -> Number:
+        return self.fn()
+
+
+class MetricRegistry:
+    """Registry of named counters and gauges.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False``, :meth:`counter` returns :data:`NULL_COUNTER` and
+        :meth:`gauge` discards the registration, so instrumented
+        subsystems impose no bookkeeping cost at all.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str, fn: Callable[[], Number]) -> None:
+        """Register a pull-based gauge; last registration under a name wins."""
+        if not self.enabled:
+            return
+        self._gauges[name] = Gauge(name, fn)
+
+    def unregister_gauge(self, name: str) -> None:
+        self._gauges.pop(name, None)
+
+    def counters(self) -> Dict[str, Number]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def gauges(self) -> Dict[str, Number]:
+        return {name: g.read() for name, g in sorted(self._gauges.items())}
+
+    def snapshot(self) -> Dict[str, Number]:
+        """All metric values in one flat dict (counters shadow nothing:
+        a name collision between a counter and a gauge is a caller bug,
+        and the gauge wins so stale counts never mask live state)."""
+        out: Dict[str, Number] = {}
+        out.update(self.counters())
+        out.update(self.gauges())
+        return out
+
+    def reset_counters(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()

@@ -1,0 +1,121 @@
+"""Span-based wall-clock profiling for the simulator's own hot paths.
+
+The simulator models *device* time analytically; this tracer measures
+*host* (wall-clock) time spent in each instrumented region — FTL write,
+FTL read, GC collection, DES event dispatch — so perf work on the
+reproduction itself has a measurement substrate.
+
+A span is entered with::
+
+    with tracer.span("ftl.write"):
+        ...
+
+Disabled tracers hand out one shared no-op context manager, so the cost
+of instrumentation when tracing is off is a single method call returning
+a cached object.  Callers in per-request paths should still guard with
+``if tracer is not None`` (the convention used throughout this repo) to
+skip even that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+__all__ = ["SpanStats", "Tracer"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregate wall-clock statistics for one span name."""
+
+    count: int = 0
+    total_s: float = 0.0
+    max_s: float = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live span; records into its :class:`SpanStats` on exit."""
+
+    __slots__ = ("_stats", "_start")
+
+    def __init__(self, stats: SpanStats):
+        self._stats = stats
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        stats = self._stats
+        stats.count += 1
+        stats.total_s += elapsed
+        if elapsed > stats.max_s:
+            stats.max_s = elapsed
+
+
+class Tracer:
+    """Collects :class:`SpanStats` per span name.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False``, :meth:`span` returns a shared no-op context
+        manager and nothing is recorded.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._spans: Dict[str, SpanStats] = {}
+
+    def span(self, name: str):
+        """Context manager timing one execution of region ``name``."""
+        if not self.enabled:
+            return _NULL_SPAN
+        stats = self._spans.get(name)
+        if stats is None:
+            stats = self._spans[name] = SpanStats()
+        return _Span(stats)
+
+    def stats(self, name: str) -> Optional[SpanStats]:
+        return self._spans.get(name)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """JSON-friendly per-span aggregates, sorted by total time."""
+        items = sorted(
+            self._spans.items(), key=lambda kv: kv[1].total_s, reverse=True
+        )
+        return {
+            name: {
+                "count": s.count,
+                "total_s": s.total_s,
+                "mean_us": s.mean_s * 1e6,
+                "max_us": s.max_s * 1e6,
+            }
+            for name, s in items
+        }
+
+    def reset(self) -> None:
+        self._spans.clear()

@@ -44,6 +44,12 @@ class EventHandle:
         return self._event.cancelled
 
 
+#: Cancelled events are lazily dropped when popped; once more than this
+#: many (and more than half the heap) are dead, the heap is compacted so
+#: cancel-heavy workloads don't leak memory or slow the heap operations.
+_PURGE_MIN_CANCELLED = 64
+
+
 class EventEngine:
     """Deterministic event loop."""
 
@@ -52,6 +58,12 @@ class EventEngine:
         self._seq = 0
         self._now = 0.0
         self.events_fired = 0
+        self.events_cancelled = 0
+        self._pending = 0        # live (not-fired, not-cancelled) events
+        self._dead_in_heap = 0   # cancelled events still in the heap
+        #: Optional :class:`~repro.obs.Tracer`; when set, each event
+        #: callback runs inside a ``des.event`` span.
+        self.tracer = None
 
     @property
     def now(self) -> float:
@@ -69,6 +81,7 @@ class EventEngine:
         event = _ScheduledEvent(time=time, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        self._pending += 1
         return EventHandle(event)
 
     def schedule_in(
@@ -81,21 +94,44 @@ class EventEngine:
 
     def cancel(self, handle: EventHandle) -> None:
         """Cancel a pending event (firing a cancelled event is a no-op)."""
-        handle._event.cancelled = True
+        event = handle._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        self._pending -= 1
+        self._dead_in_heap += 1
+        self.events_cancelled += 1
+        self._maybe_purge()
 
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events (O(1))."""
+        return self._pending
+
+    def _maybe_purge(self) -> None:
+        """Rebuild the heap without cancelled events once they dominate."""
+        if (
+            self._dead_in_heap > _PURGE_MIN_CANCELLED
+            and self._dead_in_heap * 2 > len(self._heap)
+        ):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._dead_in_heap = 0
 
     def step(self) -> bool:
         """Fire the next event; returns False when the heap is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._dead_in_heap -= 1
                 continue
             self._now = event.time
             self.events_fired += 1
-            event.callback()
+            self._pending -= 1
+            if self.tracer is not None:
+                with self.tracer.span("des.event"):
+                    event.callback()
+            else:
+                event.callback()
             return True
         return False
 
@@ -109,6 +145,7 @@ class EventEngine:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._dead_in_heap -= 1
                 continue
             if until is not None and head.time > until:
                 break

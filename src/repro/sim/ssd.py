@@ -23,7 +23,7 @@ host queue depth.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..flash.timing import TimelineSet
 from ..ftl.ftl import BaseFTL
@@ -32,6 +32,9 @@ from .logging import CompletionLog
 from .metrics import LatencyStats, RunResult
 from .request import CompletedRequest, IORequest, OpType
 from .scheduler import HostQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.sampler import TimeSeriesSampler
 
 __all__ = ["SimulatedSSD", "replay"]
 
@@ -44,9 +47,15 @@ class SimulatedSSD:
         ftl: BaseFTL,
         queue_depth: Optional[int] = None,
         log: Optional[CompletionLog] = None,
+        observer: Optional["TimeSeriesSampler"] = None,
     ):
         self.ftl = ftl
         self.log = log
+        #: Optional :class:`~repro.obs.TimeSeriesSampler`, ticked once
+        #: per completed host request with the completion time.
+        self.observer = observer
+        if observer is not None:
+            observer.attach(ftl)
         config = ftl.config
         self.timing = config.timing
         self.geometry = ftl.array.geometry
@@ -81,6 +90,8 @@ class SimulatedSSD:
             self.log.record(completed)
         if completed.finish_us > self._horizon_us:
             self._horizon_us = completed.finish_us
+        if self.observer is not None:
+            self.observer.on_request(completed.finish_us)
         return completed
 
     def _submit_write(self, request: IORequest, start: float) -> CompletedRequest:

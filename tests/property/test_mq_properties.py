@@ -27,7 +27,7 @@ def test_queue_index_monotone_in_popularity(pops):
 
 
 class MQMachine(RuleBasedStateMachine):
-    """Random insert/access/remove/evict sequences keep MQ consistent."""
+    """Random insert/access/remove/evict/resize sequences keep MQ consistent."""
 
     def __init__(self):
         super().__init__()
@@ -60,9 +60,20 @@ class MQMachine(RuleBasedStateMachine):
         if evicted is not None:
             self.resident.discard(evicted[0])
 
+    @rule(key=keys, popularity=st.integers(min_value=0, max_value=255))
+    def restore_popularity(self, key, popularity):
+        self.now += 1
+        if key in self.mq:
+            self.mq.set_popularity(key, popularity, self.now)
+
+    @rule(capacity=st.integers(min_value=1, max_value=16))
+    def resize(self, capacity):
+        for key, _payload in self.mq.set_capacity(capacity):
+            self.resident.discard(key)
+
     @invariant()
     def capacity_respected(self):
-        assert len(self.mq) <= 8
+        assert len(self.mq) <= self.mq.capacity
 
     @invariant()
     def internal_consistency(self):

@@ -100,3 +100,84 @@ class TestRunControl:
         engine.run()
         assert fired == [0, 1, 2, 3, 4, 5]
         assert engine.events_fired == 6
+
+
+class TestPendingAccounting:
+    """pending() is O(1) bookkeeping, not a heap scan."""
+
+    def test_pending_tracks_schedule_and_fire(self):
+        engine = EventEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda: None)
+        assert engine.pending() == 3
+        engine.step()
+        assert engine.pending() == 2
+        engine.run()
+        assert engine.pending() == 0
+
+    def test_cancel_decrements_pending(self):
+        engine = EventEngine()
+        handles = [engine.schedule(float(t), lambda: None) for t in range(5)]
+        engine.cancel(handles[1])
+        engine.cancel(handles[3])
+        assert engine.pending() == 3
+        assert engine.events_cancelled == 2
+
+    def test_cancel_is_idempotent(self):
+        engine = EventEngine()
+        handle = engine.schedule(1.0, lambda: None)
+        engine.cancel(handle)
+        engine.cancel(handle)
+        assert engine.pending() == 0
+        assert engine.events_cancelled == 1
+
+    def test_cancelled_events_do_not_fire(self):
+        engine = EventEngine()
+        fired = []
+        keep = engine.schedule(1.0, lambda: fired.append("keep"))
+        drop = engine.schedule(2.0, lambda: fired.append("drop"))
+        engine.cancel(drop)
+        engine.run()
+        assert fired == ["keep"]
+        assert keep.cancelled is False
+
+
+class TestCancelledEventPurge:
+    """Cancelled events are compacted out of the heap, not leaked."""
+
+    def test_heap_compacts_when_cancellations_dominate(self):
+        engine = EventEngine()
+        handles = [
+            engine.schedule(float(t), lambda: None) for t in range(200)
+        ]
+        for handle in handles[:150]:
+            engine.cancel(handle)
+        # Compaction fired at least once: the heap cannot still hold all
+        # 150 cancelled events (only the post-purge stragglers remain).
+        assert len(engine._heap) < 150
+        assert engine.pending() == 50
+
+    def test_firing_order_survives_compaction(self):
+        engine = EventEngine()
+        fired = []
+        handles = []
+        for t in range(200):
+            handles.append(
+                engine.schedule(float(t), lambda t=t: fired.append(t))
+            )
+        for handle in handles[:150]:
+            engine.cancel(handle)
+        engine.run()
+        assert fired == list(range(150, 200))
+
+    def test_small_cancel_counts_do_not_trigger_compaction(self):
+        engine = EventEngine()
+        handles = [
+            engine.schedule(float(t), lambda: None) for t in range(40)
+        ]
+        for handle in handles[:30]:
+            engine.cancel(handle)
+        # Below the purge floor: lazily dropped on pop instead.
+        assert len(engine._heap) == 40
+        engine.run()
+        assert engine.events_fired == 10

@@ -143,3 +143,113 @@ class TestValidation:
         for i in range(10):
             mq.insert(i, i, now=i)
         assert sum(mq.queue_lengths()) == len(mq) == 10
+
+
+class TestSetPopularityPlacement:
+    """set_popularity restores persisted state: direct queue placement."""
+
+    def test_places_directly_in_log2_queue(self):
+        mq = MultiQueue(capacity=8, num_queues=8)
+        mq.insert("a", "payload", now=1)
+        mq.set_popularity("a", 30, now=2)   # floor(log2(31)) == 4
+        entry = mq.entry("a")
+        assert entry.popularity == 30
+        assert entry.queue_index == 4
+        mq.check_invariants()
+
+    def test_can_demote_directly(self):
+        mq = MultiQueue(capacity=8, num_queues=8)
+        mq.insert("a", "payload", now=1, popularity=1)
+        mq.set_popularity("a", 30, now=2)
+        mq.set_popularity("a", 1, now=3)   # floor(log2(2)) == 1
+        assert mq.entry("a").queue_index == 1
+        mq.check_invariants()
+
+    def test_missing_key_raises(self):
+        mq = MultiQueue(capacity=8, num_queues=8)
+        with pytest.raises(KeyError):
+            mq.set_popularity("ghost", 5, now=1)
+
+    def test_same_queue_refreshes_recency(self):
+        mq = MultiQueue(capacity=8, num_queues=8)
+        mq.insert("a", "pa", now=1)
+        mq.insert("b", "pb", now=2)
+        mq.set_popularity("a", 2, now=3)   # both end up in queue 1
+        mq.set_popularity("b", 2, now=4)
+        mq.set_popularity("a", 2, now=5)   # same queue: move to MRU tail
+        assert mq.keys_in_queue(1) == ["b", "a"]
+
+
+class TestExpiryDemotionCascade:
+    """An untouched hot entry cascades down one queue per expired check."""
+
+    def _promoted_entry(self, mq):
+        # Accesses at consecutive times: hottest interval becomes 1, so
+        # the entry's expiration is tight and easy to outwait.
+        mq.insert("hot", "payload", now=1)
+        for now in range(2, 9):
+            mq.access("hot", now)
+        return mq.entry("hot")
+
+    def test_cascade_one_level_per_update(self):
+        mq = MultiQueue(capacity=64, num_queues=4)
+        entry = self._promoted_entry(mq)
+        start = entry.queue_index
+        assert start == 3    # popularity 8 -> floor(log2(9)) == 3
+        now = 100
+        seen = [start]
+        filler = 0
+        while entry.queue_index > 0:
+            mq.insert(f"filler-{filler}", None, now=now)
+            filler += 1
+            now += 100
+            seen.append(entry.queue_index)
+        # Strictly one level at a time, never skipping a queue.
+        drops = [a - b for a, b in zip(seen, seen[1:])]
+        assert all(drop in (0, 1) for drop in drops)
+        assert seen[-1] == 0
+        assert mq.demotions >= start
+        mq.check_invariants()
+
+    def test_fresh_entries_are_not_demoted(self):
+        mq = MultiQueue(capacity=64, num_queues=4)
+        entry = self._promoted_entry(mq)
+        before = entry.queue_index
+        mq.access("hot", now=9)  # refreshed: expire_time = 10
+        mq.insert("other", None, now=9)  # before expiry: no demotion
+        assert entry.queue_index >= before
+
+
+class TestHottestTrackingAfterEviction:
+    """Evicting/removing the hottest key must not wedge interval tracking."""
+
+    def test_interval_retained_after_hottest_removed(self):
+        mq = MultiQueue(capacity=8, num_queues=4)
+        mq.insert("hot", None, now=1)
+        mq.access("hot", now=4)
+        mq.access("hot", now=7)      # interval 3 observed
+        assert mq.hottest_interval == 3
+        mq.remove("hot")
+        assert mq.hottest_interval == 3   # last observation survives
+
+    def test_new_hottest_reestablishes_interval(self):
+        mq = MultiQueue(capacity=8, num_queues=4)
+        mq.insert("hot", None, now=1)
+        mq.access("hot", now=2)
+        mq.access("hot", now=3)      # interval 1
+        mq.remove("hot")
+        mq.insert("successor", None, now=10)
+        mq.access("successor", now=15)
+        mq.access("successor", now=25)    # interval 10
+        assert mq.hottest_interval == 10
+
+    def test_eviction_of_hottest_then_updates_are_safe(self):
+        mq = MultiQueue(capacity=2, num_queues=4)
+        mq.insert("hot", None, now=1)
+        mq.access("hot", now=2)
+        # Force the hottest entry out through capacity pressure.
+        while "hot" in mq:
+            mq.evict_one()
+        mq.insert("x", None, now=3)
+        mq.access("x", now=4)
+        mq.check_invariants()

@@ -1,0 +1,260 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runner import ExperimentContext, run_system
+from repro.obs import (
+    JsonlWriter,
+    MetricRegistry,
+    NULL_COUNTER,
+    TimeSeriesSampler,
+    Tracer,
+    read_jsonl,
+)
+
+#: Top-level fields every sample must carry (DESIGN.md, "Observability").
+SAMPLE_FIELDS = {
+    "seq", "t_us", "requests", "host_writes", "host_reads", "programs",
+    "flash_reads", "short_circuits", "dedup_hits", "invalidations",
+    "gc_relocations", "gc_erases", "write_amp", "free_blocks",
+}
+POOL_FIELDS = {
+    "occupancy", "tracked_ppns", "lookups", "hits", "insertions",
+    "evictions", "evicted_ppns", "gc_removals",
+}
+MQ_FIELDS = {
+    "queue_lengths", "promotions", "demotions", "evictions",
+    "hottest_interval",
+}
+
+
+class TestMetricRegistry:
+    def test_counter_counts(self):
+        registry = MetricRegistry()
+        counter = registry.counter("x")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot() == {"x": 5}
+
+    def test_counter_handle_is_shared_by_name(self):
+        registry = MetricRegistry()
+        registry.counter("x").inc()
+        registry.counter("x").inc()
+        assert registry.counter("x").value == 2
+
+    def test_gauge_is_pull_based(self):
+        registry = MetricRegistry()
+        state = {"v": 1}
+        registry.gauge("g", lambda: state["v"])
+        state["v"] = 7
+        assert registry.snapshot()["g"] == 7
+
+    def test_disabled_registry_is_noop(self):
+        registry = MetricRegistry(enabled=False)
+        counter = registry.counter("x")
+        assert counter is NULL_COUNTER
+        counter.inc(100)
+        registry.gauge("g", lambda: 1)
+        assert registry.snapshot() == {}
+
+    def test_reset_counters(self):
+        registry = MetricRegistry()
+        registry.counter("x").inc(3)
+        registry.reset_counters()
+        assert registry.snapshot() == {"x": 0}
+
+
+class TestTracer:
+    def test_span_records_count_and_time(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("work"):
+                pass
+        stats = tracer.stats("work")
+        assert stats.count == 3
+        assert stats.total_s >= 0.0
+        assert stats.max_s >= stats.mean_s
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("work"):
+            pass
+        assert tracer.stats("work") is None
+        assert tracer.summary() == {}
+
+    def test_summary_sorted_by_total_time(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        summary = tracer.summary()
+        assert list(summary) == ["a"]
+        assert summary["a"]["count"] == 1
+
+
+class TestJsonlWriter:
+    def test_roundtrip_via_path(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        with JsonlWriter(path) as writer:
+            writer.write({"a": 1})
+            writer({"b": [1, 2]})
+        assert read_jsonl(path) == [{"a": 1}, {"b": [1, 2]}]
+
+    def test_borrowed_stream_stays_open(self):
+        stream = io.StringIO()
+        writer = JsonlWriter(stream)
+        writer.write({"x": 1})
+        writer.close()
+        assert not stream.closed
+        assert json.loads(stream.getvalue()) == {"x": 1}
+
+    def test_records_written_counter(self, tmp_path):
+        path = str(tmp_path / "out.jsonl")
+        with JsonlWriter(path) as writer:
+            writer.write({})
+            writer.write({})
+        assert writer.records_written == 2
+
+
+class TestSamplerValidation:
+    def test_rejects_no_trigger(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(interval_requests=None, interval_us=None)
+
+    def test_rejects_nonpositive_intervals(self):
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(interval_requests=0)
+        with pytest.raises(ValueError):
+            TimeSeriesSampler(interval_us=-1.0)
+
+    def test_unattached_sampler_raises(self):
+        sampler = TimeSeriesSampler(interval_requests=1)
+        with pytest.raises(RuntimeError):
+            sampler.on_request(1.0)
+
+
+@pytest.fixture(scope="module")
+def obs_run():
+    """One small mq-dvp run with a fine-grained sampler attached."""
+    context = ExperimentContext.for_workload("mail", 0.02)
+    sampler = TimeSeriesSampler(interval_requests=100)
+    result = run_system("mq-dvp", context, 200_000, 0.02, observer=sampler)
+    return result, sampler
+
+
+class TestSamplerSchema:
+    def test_samples_produced(self, obs_run):
+        _, sampler = obs_run
+        assert sampler.sample_count >= 2
+        assert len(sampler.samples) == sampler.sample_count
+
+    def test_every_sample_has_the_schema(self, obs_run):
+        _, sampler = obs_run
+        for sample in sampler.samples:
+            assert SAMPLE_FIELDS <= set(sample)
+            assert POOL_FIELDS <= set(sample["pool"])
+            assert MQ_FIELDS <= set(sample["mq"])
+            assert len(sample["mq"]["queue_lengths"]) == 8
+
+    def test_timestamps_and_counts_monotonic(self, obs_run):
+        _, sampler = obs_run
+        samples = sampler.samples
+        for earlier, later in zip(samples, samples[1:]):
+            assert later["t_us"] >= earlier["t_us"]
+            assert later["requests"] >= earlier["requests"]
+            assert later["host_writes"] >= earlier["host_writes"]
+            assert later["gc_erases"] >= earlier["gc_erases"]
+
+    def test_final_sample_matches_run_result(self, obs_run):
+        result, sampler = obs_run
+        last = sampler.samples[-1]
+        assert last["host_writes"] == result.counters.host_writes
+        assert last["programs"] == result.counters.programs
+        assert last["gc_erases"] == result.counters.gc_erases
+
+    def test_write_amp_is_cumulative_ratio(self, obs_run):
+        result, sampler = obs_run
+        last = sampler.samples[-1]
+        counters = result.counters
+        expected = (
+            (counters.programs + counters.gc_relocations)
+            / counters.host_writes
+        )
+        assert last["write_amp"] == pytest.approx(expected)
+
+    def test_request_interval_is_respected(self, obs_run):
+        _, sampler = obs_run
+        gaps = [
+            later["requests"] - earlier["requests"]
+            for earlier, later in zip(sampler.samples, sampler.samples[1:])
+        ]
+        # Every gap except the forced end-of-run sample is the interval.
+        assert all(gap == 100 for gap in gaps[:-1])
+
+
+class TestTimeTrigger:
+    def test_time_interval_samples_without_request_interval(self):
+        context = ExperimentContext.for_workload("mail", 0.02)
+        sampler = TimeSeriesSampler(
+            interval_requests=None, interval_us=50_000.0
+        )
+        run_system("mq-dvp", context, 200_000, 0.02, observer=sampler)
+        assert sampler.sample_count >= 2
+        for earlier, later in zip(sampler.samples, sampler.samples[1:]):
+            assert later["t_us"] >= earlier["t_us"]
+
+
+class TestRegistryAndTracerIntegration:
+    def test_registry_snapshot_embedded_in_samples(self):
+        context = ExperimentContext.for_workload("mail", 0.02)
+        registry = MetricRegistry()
+        sampler = TimeSeriesSampler(interval_requests=500, registry=registry)
+        run_system(
+            "adaptive-dvp", context, 200_000, 0.02,
+            observer=sampler, registry=registry,
+        )
+        metrics = sampler.samples[-1]["metrics"]
+        assert "ftl.free_blocks" in metrics
+        assert "pool.occupancy" in metrics
+        assert "pool.capacity" in metrics       # adaptive pool gauge
+        assert "mq.promotions" in metrics
+
+    def test_tracer_spans_cover_hot_paths(self):
+        # 0.05 is the smallest mail scale that reliably triggers GC.
+        context = ExperimentContext.for_workload("mail", 0.05)
+        tracer = Tracer()
+        run_system("mq-dvp", context, 200_000, 0.05, tracer=tracer)
+        summary = tracer.summary()
+        assert "ftl.write" in summary
+        assert "ftl.read" in summary
+        assert "gc.collect" in summary
+        assert summary["ftl.write"]["count"] > 0
+
+
+class TestCliObsFlag:
+    def test_run_with_obs_emits_parseable_jsonl(self, tmp_path, capsys):
+        path = str(tmp_path / "obs.jsonl")
+        code = main([
+            "run", "--workload", "mail", "--system", "mq-dvp",
+            "--scale", "0.02", "--obs", path, "--obs-interval", "100",
+        ])
+        assert code == 0
+        samples = read_jsonl(path)
+        assert len(samples) >= 2
+        for sample in samples:
+            assert SAMPLE_FIELDS <= set(sample)
+            assert POOL_FIELDS <= set(sample["pool"])
+            assert "queue_lengths" in sample["mq"]
+        times = [s["t_us"] for s in samples]
+        assert times == sorted(times)
+
+    def test_obs_disabled_by_default(self, capsys):
+        code = main([
+            "run", "--workload", "mail", "--system", "baseline",
+            "--scale", "0.02",
+        ])
+        assert code == 0
+        assert "observability" not in capsys.readouterr().err
