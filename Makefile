@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test perf-smoke bench figures
+
+test:
+	$(PYTHON) -m pytest -q
+
+# Tiny parallel-engine smoke: process-pool round trip, caches, bench
+# harness shape.  Part of the plain suite too; this target isolates it.
+perf-smoke:
+	$(PYTHON) -m pytest -q -m perf_smoke
+
+# Refresh the tracked perf report (serial vs parallel canonical matrix).
+bench:
+	$(PYTHON) benchmarks/perf/harness.py --out BENCH_matrix.json
+
+figures:
+	$(PYTHON) -m pytest benchmarks -q -s

@@ -7,7 +7,9 @@ Figure 9 paid for.
 
 Scale: benchmarks default to the scale in ``DEFAULT_SCALE`` (see
 DESIGN.md §4); set ``REPRO_BENCH_SCALE`` to change it (e.g. 1.0 for a
-full-size run — slow).
+full-size run — slow).  Set ``REPRO_BENCH_JOBS`` to prewarm the shared
+matrix through the parallel engine (``0`` = all cores) before any
+benchmark runs; results are bit-identical to the serial fills.
 """
 
 import os
@@ -18,6 +20,7 @@ from repro.experiments.figures import EvaluationMatrix
 from repro.experiments.runner import DEFAULT_SCALE
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
+BENCH_JOBS = os.environ.get("REPRO_BENCH_JOBS")
 
 
 @pytest.fixture(scope="session")
@@ -28,7 +31,10 @@ def scale() -> float:
 @pytest.fixture(scope="session")
 def matrix() -> EvaluationMatrix:
     """One shared run cache for all evaluation-section figures."""
-    return EvaluationMatrix(scale=BENCH_SCALE)
+    built = EvaluationMatrix(scale=BENCH_SCALE)
+    if BENCH_JOBS is not None:
+        built.prewarm(jobs=int(BENCH_JOBS))
+    return built
 
 
 def emit(text: str) -> None:

@@ -1,0 +1,1 @@
+"""Perf-tracking harness: see harness.py and repro.perf.bench."""

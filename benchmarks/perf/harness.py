@@ -1,0 +1,48 @@
+"""Refresh BENCH_matrix.json: time the canonical matrix serial vs parallel.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py [--out BENCH_matrix.json]
+        [--jobs N] [--scale S] [--workloads a,b] [--systems x,y]
+
+Thin wrapper over :func:`repro.perf.bench.write_benchmark`; ``make bench``
+calls this.  Exits non-zero if the serial and parallel legs ever disagree
+(``identical_results`` false) so CI catches determinism regressions.
+"""
+
+import argparse
+import sys
+
+from repro.perf.bench import DEFAULT_BENCH_SCALE, write_benchmark
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_matrix.json")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="workers for the parallel leg (0 = all cores)")
+    parser.add_argument("--scale", type=float, default=DEFAULT_BENCH_SCALE)
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated (default: canonical slice)")
+    parser.add_argument("--systems", default=None,
+                        help="comma-separated (default: canonical slice)")
+    args = parser.parse_args(argv)
+
+    kwargs = {"jobs": args.jobs, "scale": args.scale}
+    if args.workloads:
+        kwargs["workloads"] = args.workloads.split(",")
+    if args.systems:
+        kwargs["systems"] = args.systems.split(",")
+    report = write_benchmark(args.out, **kwargs)
+    print(
+        f"wrote {args.out}: {len(report['cells'])} cells, "
+        f"serial {report['serial_seconds']:.2f}s, "
+        f"parallel {report['parallel_seconds']:.2f}s "
+        f"(x{report['speedup']}, jobs={report['jobs']}), "
+        f"identical_results={report['identical_results']}"
+    )
+    return 0 if report["identical_results"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,9 +15,16 @@ Commands
     The Section II analysis bundle for one workload.
 ``replicate``
     Multi-seed improvement statistics for one system/metric.
+``matrix``
+    Run a full (workloads × systems) matrix, optionally in parallel.
+``bench``
+    Time the canonical matrix and refresh ``BENCH_matrix.json``.
 
 All output goes to stdout; ``--json`` switches machine-readable output
-where applicable.  Exit code 0 on success, 2 on usage errors.
+where applicable.  Commands that fan out over independent cells
+(``compare``, ``replicate``, ``matrix``, ``bench``) take ``--jobs N``
+(0 = all cores); parallel results are bit-identical to ``--jobs 1``.
+Exit code 0 on success, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -74,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", type=float, default=DEFAULT_SCALE,
                        help=f"workload scale (default {DEFAULT_SCALE})")
 
+    def add_jobs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for independent cells "
+                 "(default 1 = serial, 0 = all cores)",
+        )
+
     run_p = sub.add_parser("run", help="simulate one system on one workload")
     run_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
     run_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
@@ -107,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmp_p.add_argument("--pool", type=int, default=200_000)
     add_common(cmp_p)
+    add_jobs(cmp_p)
 
     fig_p = sub.add_parser("figure", help="regenerate one paper artifact")
     fig_p.add_argument("id", choices=sorted(FIGURES))
@@ -134,6 +149,48 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--seeds", default="1,2,3",
                        help="comma-separated seeds")
     add_common(rep_p)
+    add_jobs(rep_p)
+
+    mat_p = sub.add_parser(
+        "matrix", help="run a (workloads x systems) matrix"
+    )
+    mat_p.add_argument(
+        "--workloads", default="mail,web",
+        help="comma-separated workload names",
+    )
+    mat_p.add_argument(
+        "--systems", default="baseline,mq-dvp,dedup",
+        help="comma-separated system names",
+    )
+    mat_p.add_argument("--pool", type=int, default=200_000,
+                       help="pool size in paper-label entries")
+    mat_p.add_argument("--queue-depth", type=int, default=None,
+                       help="device queue depth (default: config value)")
+    mat_p.add_argument("--json", action="store_true")
+    add_common(mat_p)
+    add_jobs(mat_p)
+
+    bench_p = sub.add_parser(
+        "bench", help="time the canonical matrix; refresh BENCH_matrix.json"
+    )
+    bench_p.add_argument("--out", default="BENCH_matrix.json",
+                         help="report path (default BENCH_matrix.json)")
+    bench_p.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workloads (default: canonical slice)",
+    )
+    bench_p.add_argument(
+        "--systems", default=None,
+        help="comma-separated systems (default: canonical slice)",
+    )
+    bench_p.add_argument(
+        "--scale", type=float, default=None,
+        help="workload scale (default: canonical bench scale)",
+    )
+    bench_p.add_argument(
+        "--jobs", type=int, default=0, metavar="N",
+        help="workers for the parallel leg (default 0 = all cores)",
+    )
     return parser
 
 
@@ -199,16 +256,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from .perf.parallel import run_specs
+    from .perf.spec import RunSpec
+
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     unknown = [s for s in systems if s not in SYSTEMS]
     if unknown:
         print(f"unknown systems: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    context = ExperimentContext.for_workload(args.workload, args.scale)
+    specs = [
+        RunSpec(
+            workload=args.workload,
+            system=system,
+            paper_pool_entries=args.pool,
+            scale=args.scale,
+        )
+        for system in systems
+    ]
+    results = run_specs(specs, jobs=args.jobs)
     rows = []
     reference = None
-    for system in systems:
-        summary = run_system(system, context, args.pool, args.scale).summary()
+    for system, result in zip(systems, results):
+        summary = result.summary()
         if reference is None:
             reference = summary
         rows.append((
@@ -283,10 +352,84 @@ def _cmd_replicate(args: argparse.Namespace) -> int:
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
     reps = paired_improvement(
         args.workload, args.system, args.metric, seeds, args.scale,
+        jobs=args.jobs,
     )
     print(f"{args.system} vs baseline on {args.workload}, "
           f"{args.metric} improvement: {reps.summary()}")
     return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    from .experiments.runner import run_matrix
+
+    workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    bad_w = [w for w in workloads if w not in PROFILES]
+    bad_s = [s for s in systems if s not in SYSTEMS]
+    if bad_w or bad_s:
+        for name, kind in [(bad_w, "workloads"), (bad_s, "systems")]:
+            if name:
+                print(f"unknown {kind}: {', '.join(name)}", file=sys.stderr)
+        return 2
+    results = run_matrix(
+        workloads, systems, args.scale, args.pool,
+        jobs=args.jobs, queue_depth=args.queue_depth,
+    )
+    if args.json:
+        payload = {
+            workload: {
+                system: result.summary()
+                for system, result in by_system.items()
+            }
+            for workload, by_system in results.items()
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [
+        (
+            workload,
+            system,
+            f"{result.summary()['flash_writes']:.0f}",
+            f"{result.summary()['erases']:.0f}",
+            f"{result.summary()['mean_latency_us']:.1f}",
+            f"{result.summary()['p99_latency_us']:.1f}",
+        )
+        for workload, by_system in results.items()
+        for system, result in by_system.items()
+    ]
+    print(render_table(
+        ["workload", "system", "flash writes", "erases",
+         "mean latency (us)", "p99 (us)"],
+        rows,
+        title=f"matrix at scale {args.scale} "
+              f"(pool {args.pool}, jobs {args.jobs})",
+    ))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .perf.bench import write_benchmark
+
+    kwargs = {"jobs": args.jobs}
+    if args.workloads:
+        kwargs["workloads"] = [
+            w.strip() for w in args.workloads.split(",") if w.strip()
+        ]
+    if args.systems:
+        kwargs["systems"] = [
+            s.strip() for s in args.systems.split(",") if s.strip()
+        ]
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    report = write_benchmark(args.out, **kwargs)
+    print(
+        f"wrote {args.out}: {len(report['cells'])} cells, "
+        f"serial {report['serial_seconds']:.2f}s, "
+        f"parallel {report['parallel_seconds']:.2f}s "
+        f"(x{report['speedup']}, jobs={report['jobs']}), "
+        f"identical_results={report['identical_results']}"
+    )
+    return 0 if report["identical_results"] else 1
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -309,6 +452,8 @@ COMMANDS = {
     "figure": _cmd_figure,
     "characterize": _cmd_characterize,
     "replicate": _cmd_replicate,
+    "matrix": _cmd_matrix,
+    "bench": _cmd_bench,
 }
 
 

@@ -16,6 +16,7 @@ digest embeds the id.
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import Union
 
 __all__ = [
@@ -38,20 +39,23 @@ class Fingerprint:
     hashable and compare equal iff their digests are equal.
     """
 
-    __slots__ = ("_key",)
+    __slots__ = ("_key", "_digest")
 
     def __init__(self, key: Union[int, bytes]):
         if isinstance(key, int):
             if key < 0:
                 raise ValueError("synthetic value ids must be non-negative")
+            digest = None
         elif isinstance(key, bytes):
             if len(key) != DIGEST_SIZE:
                 raise ValueError(
                     f"digest must be {DIGEST_SIZE} bytes, got {len(key)}"
                 )
+            digest = key
         else:
             raise TypeError(f"fingerprint key must be int or bytes, got {type(key)!r}")
         self._key = key
+        self._digest = digest
 
     @property
     def key(self) -> Union[int, bytes]:
@@ -60,10 +64,12 @@ class Fingerprint:
 
     @property
     def digest(self) -> bytes:
-        """A canonical 16-byte digest (materialised lazily for int keys)."""
-        if isinstance(self._key, bytes):
-            return self._key
-        return self._key.to_bytes(DIGEST_SIZE, "big")
+        """A canonical 16-byte digest (materialised once for int keys)."""
+        digest = self._digest
+        if digest is None:
+            digest = self._key.to_bytes(DIGEST_SIZE, "big")
+            self._digest = digest
+        return digest
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Fingerprint):
@@ -79,14 +85,28 @@ class Fingerprint:
         return f"Fingerprint(digest={self._key.hex()})"
 
 
+#: Interning bound for synthetic-id fingerprints.  Hot value ids (popular
+#: rewrites, the per-LPN initial values every prefill touches) repeat
+#: millions of times across a matrix; interning returns one shared
+#: immutable instance instead of re-allocating per request.
+INTERN_CACHE_SIZE = 1 << 18
+
+
+@lru_cache(maxsize=INTERN_CACHE_SIZE)
+def _interned(value_id: int) -> Fingerprint:
+    return Fingerprint(value_id)
+
+
 def fingerprint_of_value(value_id: int) -> Fingerprint:
     """Fingerprint of a synthetic value id.
 
     Synthetic traces number every distinct 4KB content with an integer; two
     requests carry the same ``value_id`` exactly when the paper's traces
-    would carry the same MD5.
+    would carry the same MD5.  Instances are interned (LRU-bounded), so hot
+    ids — including the ``initial_value_of`` ids prefill writes — reuse one
+    shared immutable object.
     """
-    return Fingerprint(value_id)
+    return _interned(value_id)
 
 
 def fingerprint_of_bytes(data: bytes) -> Fingerprint:

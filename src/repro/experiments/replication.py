@@ -13,14 +13,12 @@ the mean, min and max improvement over seeds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from statistics import mean, stdev
-from typing import Callable, Dict, List, Sequence
+from typing import List, Sequence
 
-from ..sim.metrics import RunResult, percent_improvement
-from ..traces.profiles import profile_by_name
-from ..traces.synthetic import generate_trace
-from .runner import DEFAULT_SCALE, ExperimentContext, config_for_profile, run_system
+from ..sim.metrics import percent_improvement
+from .runner import DEFAULT_SCALE
 
 __all__ = ["Replicates", "replicate", "paired_improvement"]
 
@@ -56,17 +54,6 @@ class Replicates:
         )
 
 
-def _context_for_seed(
-    workload: str, scale: float, seed: int
-) -> ExperimentContext:
-    profile = replace(profile_by_name(workload).scaled(scale), seed=seed)
-    return ExperimentContext(
-        profile=profile,
-        trace=generate_trace(profile),
-        config=config_for_profile(profile),
-    )
-
-
 def replicate(
     workload: str,
     system: str,
@@ -74,16 +61,29 @@ def replicate(
     seeds: Sequence[int],
     scale: float = DEFAULT_SCALE,
     paper_pool_entries: int = 200_000,
+    jobs: int = 1,
 ) -> Replicates:
     """Run one system over reseeded variants of a workload.
 
-    ``metric`` is any key of ``RunResult.summary()``.
+    ``metric`` is any key of ``RunResult.summary()``.  ``jobs`` fans the
+    per-seed runs out over worker processes (each seed is an independent
+    cell); sample order always follows ``seeds``.
     """
-    samples = []
-    for seed in seeds:
-        context = _context_for_seed(workload, scale, seed)
-        result = run_system(system, context, paper_pool_entries, scale)
-        samples.append(float(result.summary()[metric]))
+    from ..perf.parallel import run_specs
+    from ..perf.spec import RunSpec
+
+    specs = [
+        RunSpec(
+            workload=workload,
+            system=system,
+            paper_pool_entries=paper_pool_entries,
+            scale=scale,
+            seed=seed,
+        )
+        for seed in seeds
+    ]
+    results = run_specs(specs, jobs=jobs)
+    samples = [float(result.summary()[metric]) for result in results]
     return Replicates(metric=metric, samples=samples)
 
 
@@ -95,18 +95,35 @@ def paired_improvement(
     scale: float = DEFAULT_SCALE,
     paper_pool_entries: int = 200_000,
     baseline: str = "baseline",
+    jobs: int = 1,
 ) -> Replicates:
     """Per-seed % improvement of ``system`` over ``baseline``.
 
     Both systems replay the *same* trace for each seed, so the pairs are
-    directly comparable and trace-sampling noise cancels.
+    directly comparable and trace-sampling noise cancels.  ``jobs`` runs
+    the 2×len(seeds) cells in parallel; pairing is by position, which the
+    ordered collection guarantees.
     """
-    samples = []
+    from ..perf.parallel import run_specs
+    from ..perf.spec import RunSpec
+
+    specs = []
     for seed in seeds:
-        context = _context_for_seed(workload, scale, seed)
-        base = run_system(baseline, context, paper_pool_entries, scale)
-        this = run_system(system, context, paper_pool_entries, scale)
-        samples.append(percent_improvement(
+        for name in (baseline, system):
+            specs.append(
+                RunSpec(
+                    workload=workload,
+                    system=name,
+                    paper_pool_entries=paper_pool_entries,
+                    scale=scale,
+                    seed=seed,
+                )
+            )
+    results = run_specs(specs, jobs=jobs)
+    samples = [
+        percent_improvement(
             base.summary()[metric], this.summary()[metric]
-        ))
+        )
+        for base, this in zip(results[0::2], results[1::2])
+    ]
     return Replicates(metric=f"{metric} improvement %", samples=samples)

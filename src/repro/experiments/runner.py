@@ -17,8 +17,16 @@ puts GC in steady state from the first trace request.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..core.dvp import PoolStats
 from ..core.hashing import fingerprint_of_value
@@ -94,12 +102,32 @@ class ExperimentContext:
 
     @classmethod
     def for_workload(
-        cls, workload: str, scale: float = DEFAULT_SCALE
+        cls,
+        workload: str,
+        scale: float = DEFAULT_SCALE,
+        seed: Optional[int] = None,
+        use_cache: bool = True,
     ) -> "ExperimentContext":
+        """Build the shared context for one workload.
+
+        ``seed`` overrides the profile's generator seed (replication runs
+        vary it).  With ``use_cache`` the trace comes from the process
+        trace cache — generated at most once per distinct profile — and
+        must be treated as immutable; pass ``use_cache=False`` for a
+        private copy.
+        """
         profile = profile_by_name(workload).scaled(scale)
+        if seed is not None:
+            profile = replace(profile, seed=seed)
+        if use_cache:
+            from ..perf.trace_cache import cached_trace
+
+            trace = cached_trace(profile)
+        else:
+            trace = generate_trace(profile)
         return cls(
             profile=profile,
-            trace=generate_trace(profile),
+            trace=trace,
             config=config_for_profile(profile),
         )
 
@@ -113,6 +141,7 @@ def run_system(
     observer: Optional["TimeSeriesSampler"] = None,
     registry=None,
     tracer=None,
+    reuse_prefill: bool = True,
 ) -> RunResult:
     """Run one studied system over one prepared workload context.
 
@@ -121,10 +150,24 @@ def run_system(
     window; a final sample is forced at the run horizon so short traces
     always produce at least one record.  ``registry``/``tracer`` are
     wired through :meth:`BaseFTL.attach_observability`.
+
+    With ``reuse_prefill`` (the default) preconditioning goes through the
+    process prefill cache: the first run of an FTL family pays the
+    per-page write loop, siblings restore the snapshot by copy.  The
+    restored state is bit-identical to a direct prefill (the determinism
+    tests enforce this); pass ``reuse_prefill=False`` to force the direct
+    path anyway.
     """
     entries = scaled_pool_entries(paper_pool_entries, scale)
-    ftl = build_system(system, context.config, entries)
-    prefill(ftl, context.profile)
+    if reuse_prefill:
+        from ..perf.snapshot import default_prefill_cache
+
+        ftl = default_prefill_cache().prefilled_system(
+            system, context.config, context.profile, entries
+        )
+    else:
+        ftl = build_system(system, context.config, entries)
+        prefill(ftl, context.profile)
     if registry is not None or tracer is not None:
         ftl.attach_observability(registry=registry, tracer=tracer)
     device = SimulatedSSD(ftl, queue_depth=queue_depth, observer=observer)
@@ -141,14 +184,62 @@ def run_matrix(
     systems: Sequence[str],
     scale: float = DEFAULT_SCALE,
     paper_pool_entries: int = 200_000,
+    jobs: int = 1,
+    queue_depth: Optional[int] = None,
+    observer_factory: Optional[
+        Callable[[str, str], "TimeSeriesSampler"]
+    ] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
-    """Run every (workload, system) pair; results[workload][system]."""
+    """Run every (workload, system) pair; results[workload][system].
+
+    ``jobs`` fans cells out over worker processes (``None``/``0`` = all
+    cores); results are collected in deterministic (workload, system)
+    order and are digest-identical to the serial path.
+    ``observer_factory(workload, system)`` builds a fresh per-cell
+    :class:`~repro.obs.TimeSeriesSampler`; samplers hold callbacks that
+    cannot cross a process boundary, so observers require ``jobs=1``.
+    """
+    if observer_factory is not None and jobs != 1:
+        raise ValueError(
+            "observer_factory requires jobs=1: samplers are attached to "
+            "the live device and cannot be shipped to worker processes"
+        )
+    if jobs != 1:
+        from ..perf.parallel import run_specs
+        from ..perf.spec import RunSpec
+
+        specs = [
+            RunSpec(
+                workload=workload,
+                system=system,
+                paper_pool_entries=paper_pool_entries,
+                scale=scale,
+                queue_depth=queue_depth,
+            )
+            for workload in workloads
+            for system in systems
+        ]
+        flat = iter(run_specs(specs, jobs=jobs))
+        return {
+            workload: {system: next(flat) for system in systems}
+            for workload in workloads
+        }
     results: Dict[str, Dict[str, RunResult]] = {}
     for workload in workloads:
         context = ExperimentContext.for_workload(workload, scale)
         results[workload] = {}
         for system in systems:
+            observer = (
+                observer_factory(workload, system)
+                if observer_factory is not None
+                else None
+            )
             results[workload][system] = run_system(
-                system, context, paper_pool_entries, scale
+                system,
+                context,
+                paper_pool_entries,
+                scale,
+                queue_depth=queue_depth,
+                observer=observer,
             )
     return results

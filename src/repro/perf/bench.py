@@ -1,0 +1,138 @@
+"""Tracked matrix benchmark: times canonical runs, emits BENCH_matrix.json.
+
+The harness runs one canonical slice of the evaluation matrix twice from
+cold caches — once serially with per-cell timings, once fanned out over
+worker processes — verifies the two paths produced digest-identical
+:class:`~repro.sim.metrics.RunResult`s, and writes a JSON report.  The
+report is committed (``BENCH_matrix.json`` at the repo root, refreshed by
+``make bench``), so the perf trajectory of the engine is tracked in git
+history from this PR onward.
+
+Timings are wall-clock and machine-dependent; the *speedup* and the
+``identical_results`` flag are the portable signals.  On a single-core
+box the speedup hovers around (or below) 1× — process pools cannot
+manufacture parallelism — which is why the acceptance criterion is
+stated for 4+ cores.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .parallel import resolve_jobs, run_specs, run_specs_timed
+from .snapshot import default_prefill_cache
+from .spec import RunSpec, result_digest
+from .trace_cache import default_trace_cache
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "CANONICAL_WORKLOADS",
+    "CANONICAL_SYSTEMS",
+    "DEFAULT_BENCH_SCALE",
+    "run_benchmark",
+    "write_benchmark",
+]
+
+BENCH_SCHEMA = "repro.perf.bench_matrix/v1"
+
+#: The canonical slice: a heavy-dedup trace (mail), a popularity-skewed
+#: one (web) and the deepest cold region (desktop), against the paper's
+#: baseline, its headline system and the dedup comparison point.
+CANONICAL_WORKLOADS = ("mail", "web", "desktop")
+CANONICAL_SYSTEMS = ("baseline", "mq-dvp", "dedup")
+
+#: Canonical benchmark scale — small enough to finish in seconds per
+#: cell, large enough that run time dwarfs process-pool overhead.
+DEFAULT_BENCH_SCALE = 0.05
+
+
+def _clear_caches() -> None:
+    """Cold-start both process caches so timings include all setup."""
+    default_trace_cache().clear()
+    default_prefill_cache().clear()
+
+
+def run_benchmark(
+    workloads: Sequence[str] = CANONICAL_WORKLOADS,
+    systems: Sequence[str] = CANONICAL_SYSTEMS,
+    scale: float = DEFAULT_BENCH_SCALE,
+    paper_pool_entries: int = 200_000,
+    jobs: Optional[int] = None,
+) -> Dict:
+    """Time the canonical matrix serially and in parallel; return the report.
+
+    ``jobs=None`` uses every core for the parallel leg.  Both legs start
+    from cold in-memory caches; the serial leg records per-cell seconds,
+    the parallel leg records end-to-end wall time.  Digests of every cell
+    are compared across legs — ``identical_results`` must be true.
+    """
+    jobs = resolve_jobs(jobs)
+    specs = [
+        RunSpec(
+            workload=workload,
+            system=system,
+            paper_pool_entries=paper_pool_entries,
+            scale=scale,
+        )
+        for workload in workloads
+        for system in systems
+    ]
+
+    _clear_caches()
+    serial_start = time.perf_counter()
+    serial = run_specs_timed(specs, jobs=1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    _clear_caches()
+    parallel_start = time.perf_counter()
+    parallel = run_specs(specs, jobs=jobs)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    serial_digests = [result_digest(result) for result, _ in serial]
+    parallel_digests = [result_digest(result) for result in parallel]
+
+    cells: List[Dict] = []
+    for spec, (result, seconds), digest in zip(specs, serial, serial_digests):
+        cells.append(
+            {
+                "workload": spec.workload,
+                "system": spec.system,
+                "paper_pool_entries": spec.paper_pool_entries,
+                "serial_seconds": round(seconds, 6),
+                "requests": result.reads.count + result.writes.count,
+                "digest": digest,
+            }
+        )
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+        "scale": scale,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cells": cells,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 0
+        else None,
+        "identical_results": serial_digests == parallel_digests,
+    }
+
+
+def write_benchmark(path: str = "BENCH_matrix.json", **kwargs) -> Dict:
+    """Run the benchmark and write the report to ``path``; returns it."""
+    report = run_benchmark(**kwargs)
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return report

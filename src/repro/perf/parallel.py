@@ -1,0 +1,87 @@
+"""Process-pool fan-out over run specs with deterministic collection.
+
+``run_specs`` is the single entry point the matrix, replication and CLI
+layers share.  Results come back **in spec order** regardless of which
+worker finished first (``Executor.map`` preserves input order), and each
+cell is a pure function of its spec, so ``jobs=N`` is observably identical
+to ``jobs=1`` — the determinism tests compare digests across both paths.
+
+Workers are plain module-level functions (picklable by reference).  Traces
+for the distinct profiles are prewarmed in the parent before the pool
+spawns: under the default ``fork`` start method on Linux the children
+inherit the warm cache copy-on-write and skip generation entirely; under
+``spawn`` each worker regenerates (or hits the optional disk tier) — the
+results are identical either way, it only costs time.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..sim.metrics import RunResult
+from .spec import RunSpec, execute_spec, execute_spec_timed
+from .trace_cache import default_trace_cache
+
+__all__ = ["resolve_jobs", "run_specs", "run_specs_timed"]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores."""
+    if jobs is None or jobs == 0:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    return jobs
+
+
+def _prewarm_traces(specs: Sequence[RunSpec]) -> None:
+    """Generate each distinct trace once in the parent process."""
+    cache = default_trace_cache()
+    seen = set()
+    for spec in specs:
+        profile = spec.profile()
+        key = (profile.name, profile.seed, spec.scale)
+        if key not in seen:
+            seen.add(key)
+            cache.get(profile)
+
+
+def _run_spec_worker(spec: RunSpec) -> RunResult:
+    return execute_spec(spec)
+
+
+def _run_spec_timed_worker(spec: RunSpec) -> Tuple[RunResult, float]:
+    return execute_spec_timed(spec)
+
+
+def run_specs(
+    specs: Sequence[RunSpec], jobs: Optional[int] = 1
+) -> List[RunResult]:
+    """Execute ``specs``, returning results in spec order.
+
+    ``jobs=1`` (the default) runs serially in-process — no pool, no
+    pickling, observability intact.  ``jobs=None``/``0`` uses every core.
+    """
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        return [execute_spec(spec) for spec in specs]
+    _prewarm_traces(specs)
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_spec_worker, specs))
+
+
+def run_specs_timed(
+    specs: Sequence[RunSpec], jobs: Optional[int] = 1
+) -> List[Tuple[RunResult, float]]:
+    """Like :func:`run_specs` but pairs each result with its cell's
+    wall-clock seconds (as measured inside the worker)."""
+    jobs = resolve_jobs(jobs)
+    if jobs == 1 or len(specs) <= 1:
+        return [execute_spec_timed(spec) for spec in specs]
+    _prewarm_traces(specs)
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_run_spec_timed_worker, specs))

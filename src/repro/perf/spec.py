@@ -1,0 +1,107 @@
+"""Picklable run specifications — the unit of work the parallel engine ships.
+
+A :class:`RunSpec` names one evaluation-matrix cell by value: workload,
+system, paper pool label, scale, optional seed override and queue depth.
+It is frozen, hashable and (unlike an :class:`~repro.experiments.runner.
+ExperimentContext`, which drags a materialised trace along) cheap to
+pickle, so a matrix fans out to worker processes as a flat list of specs
+and each worker rebuilds its context from the shared caches.
+
+:func:`result_digest` is the bit-identity oracle: it hashes the *complete*
+observable outcome of a run — every counter and the exact latency sample
+sequences, not summary statistics — under a pinned pickle protocol, so a
+digest match between a serial and a parallel run means the runs were
+indistinguishable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import asdict, dataclass, replace
+from typing import Optional, Tuple
+
+from ..experiments.runner import DEFAULT_SCALE, ExperimentContext, run_system
+from ..sim.metrics import RunResult
+from ..traces.profiles import WorkloadProfile, profile_by_name
+
+__all__ = [
+    "RunSpec",
+    "execute_spec",
+    "execute_spec_timed",
+    "result_digest",
+]
+
+#: Digest pickling is pinned (not HIGHEST_PROTOCOL) so digests stay
+#: comparable across interpreter versions in tracked BENCH files.
+_DIGEST_PROTOCOL = 4
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One (workload, system, pool, scale, seed, qd) matrix cell, by value."""
+
+    workload: str
+    system: str
+    paper_pool_entries: int = 200_000
+    scale: float = DEFAULT_SCALE
+    seed: Optional[int] = None
+    queue_depth: Optional[int] = None
+
+    def profile(self) -> WorkloadProfile:
+        """The scaled workload profile this spec runs (seed applied)."""
+        profile = profile_by_name(self.workload).scaled(self.scale)
+        if self.seed is not None:
+            profile = replace(profile, seed=self.seed)
+        return profile
+
+    def context(self) -> ExperimentContext:
+        """Materialise the trace/config context (hits the trace cache)."""
+        return ExperimentContext.for_workload(
+            self.workload, self.scale, seed=self.seed
+        )
+
+
+def execute_spec(spec: RunSpec, reuse_prefill: bool = True) -> RunResult:
+    """Run one cell.  Pure function of the spec — the determinism tests
+    rely on ``execute_spec(s)`` matching ``run_system`` run by hand."""
+    return run_system(
+        spec.system,
+        spec.context(),
+        paper_pool_entries=spec.paper_pool_entries,
+        scale=spec.scale,
+        queue_depth=spec.queue_depth,
+        reuse_prefill=reuse_prefill,
+    )
+
+
+def execute_spec_timed(
+    spec: RunSpec, reuse_prefill: bool = True
+) -> Tuple[RunResult, float]:
+    """Run one cell and report its wall-clock seconds (cache costs
+    included — the first cell of a family pays generation/prefill)."""
+    start = time.perf_counter()
+    result = execute_spec(spec, reuse_prefill=reuse_prefill)
+    return result, time.perf_counter() - start
+
+
+def result_digest(result: RunResult) -> str:
+    """Content hash of everything a run observably produced.
+
+    Covers identity, all counters, pool statistics, the horizon and the
+    exact per-request latency sequences.  Two runs with equal digests
+    produced bit-identical :class:`RunResult`s.
+    """
+    payload = (
+        result.system,
+        result.workload,
+        asdict(result.counters),
+        result.reads.samples,
+        result.writes.samples,
+        result.horizon_us,
+        result.pool_stats,
+    )
+    return hashlib.sha256(
+        pickle.dumps(payload, protocol=_DIGEST_PROTOCOL)
+    ).hexdigest()

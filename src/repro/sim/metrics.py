@@ -40,6 +40,16 @@ class LatencyStats:
         return len(self._samples)
 
     @property
+    def samples(self) -> List[float]:
+        """The recorded samples in arrival order (read-only copy).
+
+        The exact sequence — not just the summary statistics — is what the
+        perf harness digests to prove serial, parallel and cached-prefill
+        runs produced bit-identical results.
+        """
+        return list(self._samples)
+
+    @property
     def mean(self) -> float:
         if not self._samples:
             return 0.0

@@ -1,0 +1,141 @@
+"""Unit tests for the trace cache and the prefill snapshot cache."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import (
+    config_for_profile,
+    prefill,
+    scaled_pool_entries,
+)
+from repro.ftl.dvp_ftl import build_system
+from repro.perf.snapshot import PrefillCache
+from repro.perf.trace_cache import TraceCache, profile_cache_key
+from repro.traces.synthetic import generate_trace
+
+from ..conftest import make_profile
+
+
+class TestProfileCacheKey:
+    def test_equal_profiles_equal_keys(self):
+        assert profile_cache_key(make_profile()) == profile_cache_key(
+            make_profile()
+        )
+
+    def test_any_field_changes_key(self):
+        base = profile_cache_key(make_profile())
+        assert profile_cache_key(make_profile(seed=8)) != base
+        assert profile_cache_key(make_profile(num_requests=4001)) != base
+
+
+class TestTraceCache:
+    def test_miss_then_hit_same_object(self):
+        cache = TraceCache()
+        profile = make_profile()
+        first = cache.get(profile)
+        second = cache.get(profile)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_cached_trace_matches_direct_generation(self):
+        profile = make_profile()
+        assert TraceCache().get(profile) == generate_trace(profile)
+
+    def test_seed_is_part_of_the_key(self):
+        cache = TraceCache()
+        a = cache.get(make_profile(seed=1))
+        b = cache.get(make_profile(seed=2))
+        assert cache.misses == 2
+        assert a != b
+
+    def test_lru_eviction(self):
+        cache = TraceCache(max_entries=1)
+        cache.get(make_profile(seed=1))
+        cache.get(make_profile(seed=2))
+        assert len(cache) == 1
+        cache.get(make_profile(seed=1))  # evicted -> regenerated
+        assert cache.misses == 3
+
+    def test_disk_tier_survives_memory_clear(self, tmp_path):
+        cache = TraceCache(disk_dir=str(tmp_path))
+        profile = make_profile()
+        first = cache.get(profile)
+        cache.clear()
+        second = cache.get(profile)
+        assert first is not second
+        assert first == second
+        assert cache.hits == 1  # served from disk, not regenerated
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=0)
+
+
+def _prefilled_directly(system, profile):
+    config = config_for_profile(profile)
+    ftl = build_system(system, config, scaled_pool_entries(200_000, 0.02))
+    prefill(ftl, profile)
+    return ftl
+
+
+class TestPrefillCache:
+    PROFILE = make_profile(working_set_pages=300, num_requests=1000)
+
+    def _system(self, cache, system):
+        return cache.prefilled_system(
+            system,
+            config_for_profile(self.PROFILE),
+            self.PROFILE,
+            scaled_pool_entries(200_000, 0.02),
+        )
+
+    def test_family_sharing_hits(self):
+        cache = PrefillCache()
+        self._system(cache, "baseline")
+        self._system(cache, "mq-dvp")   # same BaseFTL family -> restore
+        self._system(cache, "lru-dvp")
+        assert (cache.hits, cache.misses) == (2, 1)
+
+    def test_dedup_is_a_separate_family(self):
+        cache = PrefillCache()
+        self._system(cache, "baseline")
+        self._system(cache, "dedup")
+        assert cache.misses == 2
+        self._system(cache, "dvp+dedup")
+        assert cache.hits == 1
+
+    def test_restored_state_matches_direct_prefill(self):
+        cache = PrefillCache()
+        self._system(cache, "baseline")          # seeds the snapshot
+        restored = self._system(cache, "mq-dvp")  # restore path
+        direct = _prefilled_directly("mq-dvp", self.PROFILE)
+        assert restored.mapping._lpn_to_ppn == direct.mapping._lpn_to_ppn
+        assert restored.mapping._popularity == direct.mapping._popularity
+        assert restored.write_clock == direct.write_clock
+        assert restored.counters == direct.counters
+        restored.check_invariants()
+
+    def test_restored_systems_do_not_share_state(self):
+        cache = PrefillCache()
+        self._system(cache, "baseline")
+        a = self._system(cache, "mq-dvp")
+        b = self._system(cache, "mq-dvp")
+        assert a.mapping is not b.mapping
+        assert a.array is not b.array
+
+    def test_gc_rebound_to_restored_array(self):
+        cache = PrefillCache()
+        self._system(cache, "baseline")
+        restored = self._system(cache, "baseline")
+        assert restored.gc.array is restored.array
+        assert restored.gc.allocator is restored.allocator
+        assert restored.wear.array is restored.array
+
+    def test_lru_eviction_bound(self):
+        cache = PrefillCache(max_entries=1)
+        self._system(cache, "baseline")
+        self._system(cache, "dedup")     # evicts the BaseFTL snapshot
+        assert len(cache) == 1
+        self._system(cache, "baseline")  # must re-prefill
+        assert cache.misses == 3

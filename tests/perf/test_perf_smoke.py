@@ -1,0 +1,81 @@
+"""perf-smoke marker: a tiny end-to-end pass through the parallel engine.
+
+Selected with ``-m perf_smoke`` (``make perf-smoke``); also runs as part
+of the plain tier-1 suite.  Kept tiny — two workloads, three systems,
+``--jobs 2`` — so it exercises the process-pool round trip, the caches
+and the bench harness in seconds.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.bench import run_benchmark, write_benchmark
+from repro.perf.parallel import resolve_jobs, run_specs
+from repro.perf.spec import RunSpec, result_digest
+
+SCALE = 0.004
+SPECS = [
+    RunSpec(w, s, scale=SCALE)
+    for w in ("web", "trans")
+    for s in ("baseline", "mq-dvp", "dedup")
+]
+
+
+@pytest.mark.perf_smoke
+class TestPerfSmoke:
+    def test_tiny_matrix_parallel_round_trip(self):
+        results = run_specs(SPECS, jobs=2)
+        assert len(results) == len(SPECS)
+        for spec, result in zip(SPECS, results):
+            assert result.system == spec.system
+            assert result.workload == spec.workload
+            assert result.reads.count + result.writes.count > 0
+
+    def test_parallel_identical_to_serial(self):
+        serial = [result_digest(r) for r in run_specs(SPECS, jobs=1)]
+        parallel = [result_digest(r) for r in run_specs(SPECS, jobs=2)]
+        assert serial == parallel
+
+    def test_bench_report_shape(self):
+        report = run_benchmark(
+            workloads=("web",),
+            systems=("baseline", "mq-dvp"),
+            scale=SCALE,
+            jobs=2,
+        )
+        assert report["schema"] == "repro.perf.bench_matrix/v1"
+        assert report["identical_results"] is True
+        assert len(report["cells"]) == 2
+        for cell in report["cells"]:
+            assert cell["serial_seconds"] >= 0
+            assert cell["requests"] > 0
+            assert len(cell["digest"]) == 64
+        assert report["serial_seconds"] > 0
+        assert report["parallel_seconds"] > 0
+
+    def test_write_benchmark_emits_json(self, tmp_path):
+        path = tmp_path / "BENCH_matrix.json"
+        write_benchmark(
+            str(path),
+            workloads=("web",),
+            systems=("baseline",),
+            scale=SCALE,
+            jobs=2,
+        )
+        report = json.loads(path.read_text())
+        assert report["schema"] == "repro.perf.bench_matrix/v1"
+        assert report["identical_results"] is True
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_all_cores(self):
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)

@@ -69,3 +69,24 @@ class TestDigests:
 
     def test_repr_mentions_value_id(self):
         assert "42" in repr(fingerprint_of_value(42))
+
+    def test_digest_is_memoised_for_int_keys(self):
+        fp = Fingerprint(77)
+        assert fp.digest is fp.digest  # materialised once, then cached
+
+    def test_digest_matches_to_bytes(self):
+        assert Fingerprint(77).digest == (77).to_bytes(DIGEST_SIZE, "big")
+
+
+class TestInterning:
+    def test_hot_ids_share_one_instance(self):
+        assert fingerprint_of_value(12345) is fingerprint_of_value(12345)
+
+    def test_direct_construction_not_interned(self):
+        # The constructor stays a plain allocation; only the factory interns.
+        assert Fingerprint(9) == fingerprint_of_value(9)
+        assert Fingerprint(9) is not Fingerprint(9)
+
+    def test_negative_id_still_rejected_through_factory(self):
+        with pytest.raises(ValueError):
+            fingerprint_of_value(-3)
