@@ -1,10 +1,25 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test perf-smoke bench figures
+.PHONY: test lint perf-smoke bench figures
 
-test:
+test: lint
 	$(PYTHON) -m pytest -q
+
+# Static checks over the newest surfaces (the fault layer and the pool
+# Protocol).  Both tools are optional: environments without ruff/mypy
+# (e.g. the minimal CI image) skip them with a notice instead of failing.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/repro/faults src/repro/core/dvp.py; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy src/repro/faults src/repro/core/dvp.py; \
+	else \
+		echo "lint: mypy not installed, skipping"; \
+	fi
 
 # Tiny parallel-engine smoke: process-pool round trip, caches, bench
 # harness shape.  Part of the plain suite too; this target isolates it.

@@ -17,7 +17,7 @@ import os
 import pytest
 
 from repro.experiments.figures import EvaluationMatrix
-from repro.experiments.runner import DEFAULT_SCALE
+from repro.experiments.runner import DEFAULT_SCALE, RunConfig
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_SCALE))
 BENCH_JOBS = os.environ.get("REPRO_BENCH_JOBS")
@@ -31,7 +31,7 @@ def scale() -> float:
 @pytest.fixture(scope="session")
 def matrix() -> EvaluationMatrix:
     """One shared run cache for all evaluation-section figures."""
-    built = EvaluationMatrix(scale=BENCH_SCALE)
+    built = EvaluationMatrix(RunConfig(scale=BENCH_SCALE))
     if BENCH_JOBS is not None:
         built.prewarm(jobs=int(BENCH_JOBS))
     return built

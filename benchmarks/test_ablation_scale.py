@@ -8,7 +8,11 @@ measured at scale 0.25 would say anything about scale 1.0.
 """
 
 from repro.analysis.report import render_table
-from repro.experiments.runner import ExperimentContext, run_system
+from repro.experiments.runner import (
+    ExperimentContext,
+    RunConfig,
+    run_system,
+)
 from repro.sim.metrics import percent_improvement
 
 from .conftest import emit
@@ -23,8 +27,9 @@ def test_ablation_scale_invariance(benchmark):
         for workload in WORKLOADS:
             for scale in SCALES:
                 context = ExperimentContext.for_workload(workload, scale)
-                base = run_system("baseline", context, scale=scale)
-                dvp = run_system("mq-dvp", context, 200_000, scale=scale)
+                config = RunConfig(scale=scale)
+                base = run_system("baseline", context, config=config)
+                dvp = run_system("mq-dvp", context, config=config)
                 out[(workload, scale)] = percent_improvement(
                     base.flash_writes, dvp.flash_writes
                 )

@@ -1,0 +1,67 @@
+"""Crash-recovery experiment: post-crash revival-rate warmup.
+
+A power loss wipes the RAM-resident dead-value pool even though every
+garbage page it tracked is still on flash (paper Section IV-C).  After
+the OOB-scan rebuild the drive serves requests again, but revival starts
+from a *cold* pool: the cumulative revival rate since the crash must
+start below the uninterrupted run's rate and climb monotonically toward
+it as the pool re-learns which garbage is worth keeping.  This benchmark
+pins that warmup shape.
+"""
+
+from repro.analysis.report import render_table
+from repro.experiments.recovery import run_recovery_experiment
+
+from .conftest import emit
+
+# The experiment runs each cell twice (uninterrupted + crashed); keep it
+# at a fixed small scale instead of BENCH_SCALE.
+RECOVERY_SCALE = 0.05
+WINDOW = 2000
+
+
+def test_recovery_warmup_curve(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_recovery_experiment(
+            workload="mail",
+            system="mq-dvp",
+            scale=RECOVERY_SCALE,
+            crash_fraction=0.5,
+            window_requests=WINDOW,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            (i + 1) * WINDOW,
+            f"{warm:.4f}",
+            f"{ref:.4f}",
+        )
+        for i, (warm, ref) in enumerate(
+            zip(result.warmup_rates, result.reference_rates)
+        )
+    ]
+    emit(render_table(
+        ["requests after crash", "revival rate (crashed)", "revival rate (uninterrupted)"],
+        rows,
+        title=(
+            f"Post-crash revival warmup: {result.workload}/{result.system}, "
+            f"crash @ {result.crash_after_requests} requests"
+        ),
+    ))
+
+    # The crash happened and recovery ran (and rebuilt the L2P exactly —
+    # crash_and_recover raises on any mapping difference).
+    assert result.fault_summary["crashes"] == 1
+    assert result.fault_summary["recoveries"] == 1
+    assert result.fault_summary["mean_recovery_us"] > 0
+
+    assert len(result.warmup_rates) >= 3, "need several windows of warmup"
+    # Warmup: cold pool starts below the uninterrupted rate and climbs
+    # monotonically (cumulative rates smooth out window noise).
+    assert result.warmup_is_monotone(tolerance=1e-9)
+    assert result.warmup_rates[0] < result.reference_rates[0]
+    assert result.warmup_rates[-1] > result.warmup_rates[0]
+    # The crashed run can approach but not overtake the warm pool.
+    assert result.final_gap >= 0

@@ -14,6 +14,7 @@ Run:  python examples/dedup_synergy.py
 from repro.analysis.report import render_table
 from repro.experiments.runner import (
     ExperimentContext,
+    RunConfig,
     run_system,
     scaled_pool_entries,
 )
@@ -22,6 +23,7 @@ from repro.sim.request import IORequest, OpType
 from repro.sim.ssd import SimulatedSSD
 
 SCALE = 0.1
+RUN_CONFIG = RunConfig(scale=SCALE)
 D = 4242  # value id of the recurring data block "D"
 
 
@@ -65,7 +67,7 @@ def part2_workload():
     rows = []
     base = None
     for system in ("baseline", "dedup", "mq-dvp", "dvp+dedup"):
-        result = run_system(system, context, 200_000, SCALE)
+        result = run_system(system, context, config=RUN_CONFIG)
         summary = result.summary()
         if base is None:
             base = summary

@@ -16,6 +16,7 @@ from repro.analysis.report import render_table
 from repro.core.dvp import MQDeadValuePool
 from repro.experiments.runner import (
     ExperimentContext,
+    RunConfig,
     prefill,
     run_system,
     scaled_pool_entries,
@@ -24,6 +25,7 @@ from repro.ftl.ftl import BaseFTL
 from repro.sim.ssd import SimulatedSSD
 
 SCALE = 0.1
+RUN_CONFIG = RunConfig(scale=SCALE)
 WORKLOAD = "web"
 
 
@@ -38,7 +40,7 @@ def policy_ablation(context):
     print("1. pool replacement policy (equal capacity):\n")
     rows = []
     for system in ("lru-dvp", "lxssd", "mq-dvp", "ideal"):
-        summary = run_system(system, context, 200_000, SCALE).summary()
+        summary = run_system(system, context, config=RUN_CONFIG).summary()
         rows.append((system, f"{summary['flash_writes']:.0f}",
                      f"{summary['short_circuits']:.0f}",
                      f"{summary['mean_latency_us']:.1f}"))

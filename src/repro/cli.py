@@ -17,6 +17,10 @@ Commands
     Multi-seed improvement statistics for one system/metric.
 ``matrix``
     Run a full (workloads × systems) matrix, optionally in parallel.
+``faults``
+    Run one system on an unreliable device (seeded fault injection),
+    or — with ``--recovery`` — measure the post-crash revival-rate
+    warmup against an uninterrupted run.
 ``bench``
     Time the canonical matrix and refresh ``BENCH_matrix.json``.
 
@@ -43,8 +47,9 @@ from .analysis.characterize import (
 from .analysis.report import render_table
 from .experiments import figures as figures_mod
 from .experiments.figures import EvaluationMatrix
+from .experiments.config import DEFAULT_SCALE, RunConfig
 from .experiments.replication import paired_improvement
-from .experiments.runner import DEFAULT_SCALE, ExperimentContext, run_system
+from .experiments.runner import ExperimentContext, run_system
 from .ftl.dvp_ftl import SYSTEMS
 from .traces.profiles import PROFILES
 from .traces.synthetic import generate_trace
@@ -170,6 +175,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(mat_p)
     add_jobs(mat_p)
 
+    flt_p = sub.add_parser(
+        "faults",
+        help="fault-injection run, or --recovery warmup measurement",
+    )
+    flt_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
+    flt_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+    flt_p.add_argument("--pool", type=int, default=200_000,
+                       help="pool size in paper-label entries (default 200K)")
+    flt_p.add_argument("--seed", type=int, default=0,
+                       help="fault-stream seed (default 0)")
+    flt_p.add_argument("--program-failure-prob", type=float, default=0.0,
+                       metavar="P", help="per-program failure probability")
+    flt_p.add_argument("--erase-failure-prob", type=float, default=0.0,
+                       metavar="P", help="per-erase failure probability")
+    flt_p.add_argument("--read-error-prob", type=float, default=0.0,
+                       metavar="P", help="per-read ECC-retry probability")
+    flt_p.add_argument("--crash-after", type=int, default=None, metavar="N",
+                       help="power loss after N serviced host requests")
+    flt_p.add_argument(
+        "--recovery", action="store_true",
+        help="run the crash-recovery warmup experiment instead "
+             "(crashed vs uninterrupted revival rate)",
+    )
+    flt_p.add_argument(
+        "--crash-fraction", type=float, default=0.5, metavar="F",
+        help="--recovery: crash point as a fraction of the trace "
+             "(default 0.5)",
+    )
+    flt_p.add_argument(
+        "--window", type=int, default=2000, metavar="N",
+        help="--recovery: sampling window in host requests (default 2000)",
+    )
+    flt_p.add_argument("--json", action="store_true")
+    add_common(flt_p)
+
     bench_p = sub.add_parser(
         "bench", help="time the canonical matrix; refresh BENCH_matrix.json"
     )
@@ -224,8 +264,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         tracer = Tracer()
     try:
         result = run_system(
-            args.system, context, args.pool, args.scale,
-            observer=observer, registry=registry, tracer=tracer,
+            args.system, context,
+            config=RunConfig(
+                paper_pool_entries=args.pool, scale=args.scale,
+                observer=observer, registry=registry, tracer=tracer,
+            ),
         )
     finally:
         if writer is not None:
@@ -299,7 +342,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     func, needs_matrix = FIGURES[args.id]
     if needs_matrix:
-        result = func(EvaluationMatrix(scale=args.scale))
+        result = func(EvaluationMatrix(RunConfig(scale=args.scale)))
     else:
         result = func(args.scale)
     print(f"[{args.id}]")
@@ -372,8 +415,11 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
                 print(f"unknown {kind}: {', '.join(name)}", file=sys.stderr)
         return 2
     results = run_matrix(
-        workloads, systems, args.scale, args.pool,
-        jobs=args.jobs, queue_depth=args.queue_depth,
+        workloads, systems,
+        config=RunConfig(
+            paper_pool_entries=args.pool, scale=args.scale,
+            jobs=args.jobs, queue_depth=args.queue_depth,
+        ),
     )
     if args.json:
         payload = {
@@ -404,6 +450,86 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         title=f"matrix at scale {args.scale} "
               f"(pool {args.pool}, jobs {args.jobs})",
     ))
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .faults import FaultConfig
+
+    if args.recovery:
+        from .experiments.recovery import run_recovery_experiment
+
+        try:
+            result = run_recovery_experiment(
+                workload=args.workload,
+                system=args.system,
+                scale=args.scale,
+                paper_pool_entries=args.pool,
+                crash_fraction=args.crash_fraction,
+                window_requests=args.window,
+                fault_seed=args.seed,
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            from dataclasses import asdict
+
+            print(json.dumps(asdict(result), indent=2, sort_keys=True))
+            return 0
+        rows = [
+            (
+                (i + 1) * result.window_requests,
+                f"{warm:.4f}",
+                f"{ref:.4f}",
+                f"{ref - warm:+.4f}",
+            )
+            for i, (warm, ref) in enumerate(
+                zip(result.warmup_rates, result.reference_rates)
+            )
+        ]
+        print(render_table(
+            ["requests since crash", "revival rate (crashed)",
+             "revival rate (uninterrupted)", "gap"],
+            rows,
+            title=f"revival warmup: {args.system} on {args.workload} "
+                  f"(crash @ {result.crash_after_requests}, "
+                  f"scale {result.scale})",
+        ))
+        recovery_us = result.fault_summary.get("mean_recovery_us", 0.0)
+        print(f"recovery scan: {recovery_us:.0f} us; "
+              f"final gap {result.final_gap:+.4f}", file=sys.stderr)
+        return 0
+    try:
+        fault_config = FaultConfig(
+            seed=args.seed,
+            program_failure_prob=args.program_failure_prob,
+            erase_failure_prob=args.erase_failure_prob,
+            read_error_prob=args.read_error_prob,
+            crash_after_requests=args.crash_after,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    context = ExperimentContext.for_workload(args.workload, args.scale)
+    result = run_system(
+        args.system, context,
+        config=RunConfig(
+            paper_pool_entries=args.pool, scale=args.scale,
+            faults=fault_config,
+        ),
+    )
+    summary = dict(result.summary())
+    summary.update(result.fault_summary())
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [(k, v) for k, v in sorted(summary.items())]
+        print(render_table(
+            ["metric", "value"], rows,
+            title=f"{args.system} on {args.workload} with faults "
+                  f"(seed {args.seed}, scale {args.scale})",
+        ))
     return 0
 
 
@@ -453,6 +579,7 @@ COMMANDS = {
     "characterize": _cmd_characterize,
     "replicate": _cmd_replicate,
     "matrix": _cmd_matrix,
+    "faults": _cmd_faults,
     "bench": _cmd_bench,
 }
 

@@ -13,12 +13,15 @@ from .lifecycle import LifecycleStats, LifecycleTracker, ValueStats
 from .mq import MQEntry, MultiQueue, queue_index_for_popularity
 from .policies import LFUCache, LRUCache
 from .dvp import (
+    POOL_NAMES,
     DeadValuePool,
     InfiniteDeadValuePool,
     LBARecencyPool,
     LRUDeadValuePool,
     MQDeadValuePool,
+    PoolBase,
     PoolStats,
+    pool_from_name,
 )
 
 __all__ = [
@@ -31,12 +34,15 @@ __all__ = [
     "MQEntry",
     "queue_index_for_popularity",
     "DeadValuePool",
+    "PoolBase",
     "InfiniteDeadValuePool",
     "LRUDeadValuePool",
     "MQDeadValuePool",
     "AdaptiveMQDeadValuePool",
     "LBARecencyPool",
     "PoolStats",
+    "pool_from_name",
+    "POOL_NAMES",
     "LifecycleTracker",
     "LifecycleStats",
     "ValueStats",

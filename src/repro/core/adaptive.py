@@ -124,6 +124,18 @@ class AdaptiveMQDeadValuePool(MQDeadValuePool):
         self._tick()
         return dropped
 
+    def clear_volatile(self) -> None:
+        """Power loss: drop entries and the in-flight adaptation window.
+
+        The current capacity is kept (it is a firmware sizing decision,
+        re-derivable but harmless to retain); telemetry counters survive
+        as measurements.
+        """
+        super().clear_volatile()
+        self._window_events = 0
+        self._window_insertions = 0
+        self._window_evictions = 0
+
     # ------------------------------------------------------------------
 
     def _tick(self) -> None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
 
 from .hashing import Fingerprint
 from .mq import MultiQueue
@@ -38,11 +38,86 @@ from .policies import LRUCache
 __all__ = [
     "PoolStats",
     "DeadValuePool",
+    "PoolBase",
     "InfiniteDeadValuePool",
     "LRUDeadValuePool",
     "MQDeadValuePool",
     "LBARecencyPool",
+    "pool_from_name",
+    "POOL_NAMES",
 ]
+
+
+@runtime_checkable
+class DeadValuePool(Protocol):
+    """The contract every dead-value pool variant satisfies.
+
+    This is the single authoritative statement of the pool API — the FTL
+    (:mod:`repro.ftl.ftl`) is written against exactly this surface, and
+    every implementation below (plus
+    :class:`~repro.core.adaptive.AdaptiveMQDeadValuePool`) conforms,
+    signatures included.  ``runtime_checkable`` so tests can assert
+    ``isinstance(pool, DeadValuePool)``; implementations inherit the
+    shared machinery from :class:`PoolBase` rather than from this
+    Protocol.
+    """
+
+    stats: PoolStats
+    drop_listener: Optional[Callable[[int], None]]
+
+    def lookup_for_write(self, fp: Fingerprint, now: int) -> Optional[int]:
+        """Try to service a write of content ``fp`` from the pool.
+
+        On a hit, removes and returns one garbage PPN holding that content
+        (the FTL revives it).  On a miss returns ``None``.  ``now`` is the
+        write-request timestamp (the i-th write has timestamp i).
+        """
+        ...
+
+    def insert_garbage(
+        self,
+        fp: Fingerprint,
+        ppn: int,
+        now: int,
+        popularity: int = 1,
+        lpn: Optional[int] = None,
+    ) -> List[int]:
+        """Record that physical page ``ppn`` just died holding content ``fp``.
+
+        ``popularity`` is the 1-byte write-popularity persisted in the
+        LPN-to-PPN table; ``lpn`` is the logical address the page was mapped
+        to (only the LX-SSD pool uses it).  Returns the list of garbage PPNs
+        dropped from tracking because of capacity evictions.
+        """
+        ...
+
+    def discard_ppn(self, fp: Fingerprint, ppn: int) -> bool:
+        """Forget ``ppn`` because GC physically erased it."""
+        ...
+
+    def clear_volatile(self) -> None:
+        """Drop all RAM-resident pool state (power loss).
+
+        The tracked garbage pages still exist on flash, but nothing about
+        them survives in the pool: after a crash the pool restarts cold and
+        must re-learn the workload.  Cumulative :class:`PoolStats` are
+        *kept* (they are measurements, not device state), and the
+        ``drop_listener`` is deliberately not fired — crash recovery resets
+        the FTL's popularity bookkeeping wholesale.
+        """
+        ...
+
+    def tracked_ppn_count(self) -> int:
+        """Total garbage PPNs tracked (for memory accounting in reports)."""
+        ...
+
+    def __len__(self) -> int:
+        """Number of resident entries (distinct fingerprints)."""
+        ...
+
+    def __contains__(self, fp: Fingerprint) -> bool:
+        """Whether content ``fp`` is currently revivable."""
+        ...
 
 
 @dataclass
@@ -93,8 +168,13 @@ class _PoolEntry:
         return False
 
 
-class DeadValuePool(ABC):
-    """Protocol shared by all dead-value pool variants."""
+class PoolBase(ABC):
+    """Shared machinery for the concrete pools (stats, drop notification).
+
+    Implementation detail: the public contract is the
+    :class:`DeadValuePool` Protocol above — new pool variants need not
+    inherit from this class as long as they satisfy the Protocol.
+    """
 
     def __init__(self) -> None:
         self.stats = PoolStats()
@@ -143,6 +223,10 @@ class DeadValuePool(ABC):
         """
 
     @abstractmethod
+    def clear_volatile(self) -> None:
+        """Drop all RAM-resident pool state (see the Protocol docstring)."""
+
+    @abstractmethod
     def __len__(self) -> int:
         """Number of resident entries (distinct fingerprints)."""
 
@@ -160,7 +244,7 @@ def _take_ppn(entry: _PoolEntry) -> int:
     return entry.take_ppn()
 
 
-class InfiniteDeadValuePool(DeadValuePool):
+class InfiniteDeadValuePool(PoolBase):
     """Unbounded pool: the *Ideal* upper bound of Figures 1, 5, 9 and 10."""
 
     def __init__(self) -> None:
@@ -202,6 +286,9 @@ class InfiniteDeadValuePool(DeadValuePool):
         self.stats.gc_removals += 1
         return True
 
+    def clear_volatile(self) -> None:
+        self._entries.clear()
+
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -212,7 +299,7 @@ class InfiniteDeadValuePool(DeadValuePool):
         return sum(len(e.ppns) for e in self._entries.values())
 
 
-class LRUDeadValuePool(DeadValuePool):
+class LRUDeadValuePool(PoolBase):
     """Recency-only pool (Section III-A strawman, Figure 5).
 
     Entries are fingerprints ordered by last *insertion or reuse* time;
@@ -273,6 +360,9 @@ class LRUDeadValuePool(DeadValuePool):
         self.stats.gc_removals += 1
         return True
 
+    def clear_volatile(self) -> None:
+        self._cache = LRUCache(self._cache.capacity)
+
     def __len__(self) -> int:
         return len(self._cache)
 
@@ -283,7 +373,7 @@ class LRUDeadValuePool(DeadValuePool):
         return sum(len(e.ppns) for _, e in self._cache.items_lru_to_mru())
 
 
-class MQDeadValuePool(DeadValuePool):
+class MQDeadValuePool(PoolBase):
     """The paper's proposal: an MQ-managed dead-value pool (MQ-DVP).
 
     Each entry holds a 16B hash, the PPN list, the write-popularity degree
@@ -374,6 +464,11 @@ class MQDeadValuePool(DeadValuePool):
         self.stats.gc_removals += 1
         return True
 
+    def clear_volatile(self) -> None:
+        self._mq = MultiQueue(
+            self._mq.capacity, num_queues=self._mq.num_queues
+        )
+
     def __len__(self) -> int:
         return len(self._mq)
 
@@ -398,7 +493,7 @@ class _LbaEntry:
     second_chance: bool = False
 
 
-class LBARecencyPool(DeadValuePool):
+class LBARecencyPool(PoolBase):
     """LX-SSD-style pool (Zhou et al., MSST 2017), as the paper characterises it.
 
     Two deliberate design choices reproduce the prior work's weaknesses the
@@ -503,6 +598,10 @@ class LBARecencyPool(DeadValuePool):
                 return True
         return False
 
+    def clear_volatile(self) -> None:
+        self._by_lpn.clear()
+        self._fp_index.clear()
+
     def __len__(self) -> int:
         return len(self._by_lpn)
 
@@ -511,3 +610,43 @@ class LBARecencyPool(DeadValuePool):
 
     def tracked_ppn_count(self) -> int:
         return len(self._by_lpn)
+
+
+#: Pool registry names accepted by :func:`pool_from_name`.
+POOL_NAMES = ("infinite", "lru", "mq", "lba-recency", "adaptive")
+
+
+def pool_from_name(
+    name: str,
+    entries: int = 200_000,
+    num_queues: int = 8,
+) -> DeadValuePool:
+    """Build a dead-value pool by registry name.
+
+    The single place mapping pool names to classes — the system factories
+    (:mod:`repro.ftl.dvp_ftl`) and the CLI both resolve through here
+    instead of dispatching inline.  ``entries`` is ignored by the
+    unbounded ``infinite`` pool; ``num_queues`` only affects the MQ-based
+    pools.  The ``adaptive`` pool starts at a quarter of ``entries`` and
+    may grow back up to it.
+    """
+    if name == "infinite":
+        return InfiniteDeadValuePool()
+    if name == "lru":
+        return LRUDeadValuePool(entries)
+    if name == "mq":
+        return MQDeadValuePool(entries, num_queues=num_queues)
+    if name == "lba-recency":
+        return LBARecencyPool(entries)
+    if name == "adaptive":
+        from .adaptive import AdaptiveMQDeadValuePool
+
+        return AdaptiveMQDeadValuePool(
+            initial_entries=max(64, entries // 4),
+            min_entries=64,
+            max_entries=entries,
+            num_queues=num_queues,
+        )
+    raise ValueError(
+        f"unknown pool {name!r}; choose from {sorted(POOL_NAMES)}"
+    )

@@ -1,0 +1,108 @@
+"""One frozen configuration object for every way the repo runs a system.
+
+Run parameters used to travel as a flat kwarg list (`paper_pool_entries`,
+``scale``, ``queue_depth``, ...) copied across :func:`~repro.experiments.
+runner.run_system`, :func:`~repro.experiments.runner.run_matrix`,
+:class:`~repro.experiments.figures.EvaluationMatrix` and
+:class:`~repro.perf.spec.RunSpec` — four signatures to keep in sync, and
+no place to put new knobs (the fault layer added three more).
+
+:class:`RunConfig` replaces that: one frozen dataclass carrying everything
+a run needs beyond its identity (workload/system stay positional — they
+*name* the run; the config describes *how* to run it).  It is immutable,
+so one instance can safely be shared across a whole matrix, and —
+``observer``/``registry``/``tracer`` aside — picklable, so
+``RunSpec.from_config`` can ship it to worker processes.
+
+The old kwargs still work for one release and raise
+``DeprecationWarning``; see README's migration notes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..faults.model import FaultConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricRegistry
+    from ..obs.sampler import TimeSeriesSampler
+    from ..obs.tracer import Tracer
+
+__all__ = ["DEFAULT_SCALE", "RunConfig"]
+
+#: Default down-scale applied by the benchmarks (see EXPERIMENTS.md).
+DEFAULT_SCALE = 0.25
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to run a system: everything but the (workload, system) identity.
+
+    Parameters
+    ----------
+    paper_pool_entries:
+        Dead-value-pool size in the paper's own labels (100K/200K/...);
+        scaled down via :func:`~repro.experiments.runner.scaled_pool_entries`.
+    scale:
+        Workload down-scale factor (DESIGN.md §4).
+    queue_depth:
+        Device queue depth override (``None`` = the config's value).
+    observer:
+        A :class:`~repro.obs.TimeSeriesSampler` attached to the device for
+        the measured window.  Holds callbacks — not picklable, so configs
+        carrying one cannot fan out to worker processes.
+    registry / tracer:
+        Wired through :meth:`~repro.ftl.ftl.BaseFTL.attach_observability`.
+    reuse_prefill:
+        Precondition via the process prefill cache (bit-identical to a
+        direct prefill; the determinism tests enforce it).
+    jobs:
+        Worker processes for multi-cell entry points (``run_matrix``,
+        ``EvaluationMatrix``); ignored by single-run ``run_system``.
+        ``0`` means all cores.
+    faults:
+        A :class:`~repro.faults.FaultConfig`, or ``None`` for the perfect
+        device.  The fault model attaches *after* preconditioning, so the
+        prefill snapshot cache stays fault-free and a ``faults=None`` run
+        is digest-identical to one from a build without the fault layer.
+    """
+
+    paper_pool_entries: int = 200_000
+    scale: float = DEFAULT_SCALE
+    queue_depth: Optional[int] = None
+    observer: Optional["TimeSeriesSampler"] = None
+    registry: Optional["MetricRegistry"] = None
+    tracer: Optional["Tracer"] = None
+    reuse_prefill: bool = True
+    jobs: int = 1
+    faults: Optional[FaultConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.paper_pool_entries <= 0:
+            raise ValueError("paper_pool_entries must be positive")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+        if self.queue_depth is not None and self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive when set")
+        if self.jobs < 0:
+            raise ValueError("jobs must be >= 0 (0 = all cores)")
+        if self.faults is not None and not isinstance(self.faults, FaultConfig):
+            raise TypeError("faults must be a FaultConfig or None")
+
+    def replace(self, **changes: object) -> "RunConfig":
+        """A copy with ``changes`` applied (the dataclasses idiom, bound
+        as a method so call sites need no extra import)."""
+        return dataclasses.replace(self, **changes)
+
+    @property
+    def picklable(self) -> bool:
+        """Whether this config can cross a process boundary (observers,
+        registries and tracers hold live callbacks and cannot)."""
+        return (
+            self.observer is None
+            and self.registry is None
+            and self.tracer is None
+        )

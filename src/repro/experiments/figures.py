@@ -30,8 +30,9 @@ Figures sharing simulation runs (9–12, 14, 15) take an
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.characterize import (
     InvalidationCDF,
@@ -51,8 +52,8 @@ from ..flash.config import SSDConfig, paper_config
 from ..sim.metrics import RunResult, percent_improvement
 from ..traces.profiles import PROFILES, TraceAudit, audit_trace, profile_by_name
 from ..traces.synthetic import generate_trace
+from .config import DEFAULT_SCALE, RunConfig
 from .runner import (
-    DEFAULT_SCALE,
     ExperimentContext,
     run_system,
     scaled_pool_entries,
@@ -89,16 +90,54 @@ PAPER_POOL_SIZES: Tuple[int, ...] = (100_000, 200_000, 300_000)
 class EvaluationMatrix:
     """Lazy cache of simulation runs keyed by (workload, system, pool size).
 
-    One matrix per scale; building a cell generates the workload context
-    once and reuses it for every system run on that workload.  With
+    One matrix per :class:`~repro.experiments.config.RunConfig`; building
+    a cell generates the workload context once and reuses it for every
+    system run on that workload.  The config's ``paper_pool_entries`` is
+    the *default* pool label — :meth:`run` overrides it per cell.  With
     ``jobs != 1`` the lazy fills still run in-process, but
     :meth:`prewarm` batch-fills cells through the parallel engine —
     figure functions then find every cell already cached.
+
+    The old ``EvaluationMatrix(scale=..., jobs=...)`` constructor still
+    works for one release with a :class:`DeprecationWarning`; pass
+    ``EvaluationMatrix(config=RunConfig(...))`` (or the config
+    positionally) instead.
     """
 
-    def __init__(self, scale: float = DEFAULT_SCALE, jobs: int = 1):
-        self.scale = scale
-        self.jobs = jobs
+    def __init__(
+        self,
+        scale: Union[RunConfig, float, None] = None,
+        jobs: Optional[int] = None,
+        config: Optional[RunConfig] = None,
+    ):
+        if isinstance(scale, RunConfig):
+            if config is not None:
+                raise TypeError("pass the RunConfig once, not twice")
+            config, scale = scale, None
+        if config is not None:
+            if scale is not None or jobs is not None:
+                raise TypeError(
+                    "EvaluationMatrix got config= and legacy scale/jobs; "
+                    "put them in the RunConfig"
+                )
+            self.config = config
+        else:
+            legacy = {
+                k: v
+                for k, v in dict(scale=scale, jobs=jobs).items()
+                if v is not None
+            }
+            if legacy:
+                warnings.warn(
+                    "EvaluationMatrix(scale=..., jobs=...) is deprecated; "
+                    "pass config=RunConfig(...) instead (see README, "
+                    "'Migrating to RunConfig')",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+            self.config = RunConfig(**legacy)
+        self.scale = self.config.scale
+        self.jobs = self.config.jobs
         self._contexts: Dict[str, ExperimentContext] = {}
         self._runs: Dict[Tuple[str, str, int], RunResult] = {}
 
@@ -133,11 +172,10 @@ class EvaluationMatrix:
                     if key not in self._runs:
                         keys.append(key)
         specs = [
-            RunSpec(
-                workload=workload,
-                system=system,
-                paper_pool_entries=pool_entries,
-                scale=self.scale,
+            RunSpec.from_config(
+                workload,
+                system,
+                self.config.replace(paper_pool_entries=pool_entries),
             )
             for workload, system, pool_entries in keys
         ]
@@ -158,7 +196,9 @@ class EvaluationMatrix:
         key = (workload, system, pool_entries)
         if key not in self._runs:
             self._runs[key] = run_system(
-                system, self.context(workload), pool_entries, self.scale
+                system,
+                self.context(workload),
+                config=self.config.replace(paper_pool_entries=pool_entries),
             )
         return self._runs[key]
 

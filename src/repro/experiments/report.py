@@ -31,7 +31,7 @@ from .figures import (
     table1_configuration,
     table2_workloads,
 )
-from .runner import DEFAULT_SCALE
+from .config import DEFAULT_SCALE, RunConfig
 
 __all__ = ["generate_report"]
 
@@ -42,7 +42,7 @@ def _section(title: str, body: str) -> str:
 
 def generate_report(scale: float = DEFAULT_SCALE) -> str:
     """Regenerate every artifact and return the full report text."""
-    matrix = EvaluationMatrix(scale=scale)
+    matrix = EvaluationMatrix(RunConfig(scale=scale))
     parts: List[str] = [
         "# Reviving Zombie Pages on SSDs — reproduction report",
         f"\nScale: {scale} (see DESIGN.md §4).  All runs deterministic.",

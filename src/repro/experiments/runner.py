@@ -17,6 +17,7 @@ puts GC in steady state from the first trace request.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
@@ -26,6 +27,8 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Tuple,
+    Union,
 )
 
 from ..core.dvp import PoolStats
@@ -38,6 +41,7 @@ from ..sim.request import IORequest
 from ..sim.ssd import SimulatedSSD
 from ..traces.profiles import WorkloadProfile, profile_by_name
 from ..traces.synthetic import generate_trace, initial_value_of
+from .config import DEFAULT_SCALE, RunConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs.sampler import TimeSeriesSampler
@@ -45,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = [
     "DEFAULT_SCALE",
     "POOL_ENTRY_SCALE",
+    "RunConfig",
     "scaled_pool_entries",
     "prefill",
     "config_for_profile",
@@ -52,9 +57,6 @@ __all__ = [
     "run_matrix",
     "ExperimentContext",
 ]
-
-#: Default down-scale applied by the benchmarks (see EXPERIMENTS.md).
-DEFAULT_SCALE = 0.25
 
 #: Paper pool entries → scaled entries: at scale s, a "200K-entry" pool
 #: becomes 200_000 * s * POOL_ENTRY_SCALE entries.  The factor was chosen
@@ -97,7 +99,7 @@ class ExperimentContext:
     """Shared setup for a family of runs over one workload."""
 
     profile: WorkloadProfile
-    trace: List[IORequest]
+    trace: Sequence[IORequest]
     config: SSDConfig
 
     @classmethod
@@ -113,12 +115,15 @@ class ExperimentContext:
         ``seed`` overrides the profile's generator seed (replication runs
         vary it).  With ``use_cache`` the trace comes from the process
         trace cache — generated at most once per distinct profile — and
-        must be treated as immutable; pass ``use_cache=False`` for a
-        private copy.
+        is a *tuple*: cached traces are shared across every context built
+        for the profile, and handing out something list-like once let an
+        in-place ``sort()`` in one analysis poison every later run.  Pass
+        ``use_cache=False`` for a private, mutable list.
         """
         profile = profile_by_name(workload).scaled(scale)
         if seed is not None:
             profile = replace(profile, seed=seed)
+        trace: Sequence[IORequest]
         if use_cache:
             from ..perf.trace_cache import cached_trace
 
@@ -132,34 +137,103 @@ class ExperimentContext:
         )
 
 
+def _config_from_legacy(
+    func: str, positional: Optional[object], legacy: Dict[str, object]
+) -> RunConfig:
+    """Fold a pre-RunConfig kwarg set into a :class:`RunConfig`.
+
+    ``positional`` is whatever landed in the old third positional slot
+    (``paper_pool_entries`` for ``run_system``, ``scale`` for
+    ``run_matrix``); ``legacy`` maps field name → explicitly passed value
+    (``None`` entries are dropped — they mean "use the default").  Any
+    explicit legacy parameter raises a :class:`DeprecationWarning` naming
+    the replacement.
+    """
+    fields = {k: v for k, v in legacy.items() if v is not None}
+    if fields:
+        names = ", ".join(sorted(fields))
+        warnings.warn(
+            f"passing {names} to {func} directly is deprecated; "
+            f"pass config=RunConfig(...) instead (see README, "
+            f"'Migrating to RunConfig')",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return RunConfig(**fields)
+
+
 def run_system(
     system: str,
     context: ExperimentContext,
-    paper_pool_entries: int = 200_000,
-    scale: float = DEFAULT_SCALE,
+    config: Union[RunConfig, int, None] = None,
+    scale: Optional[float] = None,
+    *,
+    paper_pool_entries: Optional[int] = None,
     queue_depth: Optional[int] = None,
     observer: Optional["TimeSeriesSampler"] = None,
     registry=None,
     tracer=None,
-    reuse_prefill: bool = True,
+    reuse_prefill: Optional[bool] = None,
 ) -> RunResult:
     """Run one studied system over one prepared workload context.
 
-    ``observer`` (a :class:`~repro.obs.TimeSeriesSampler`) is attached
-    after preconditioning so samples cover only the measured trace
-    window; a final sample is forced at the run horizon so short traces
-    always produce at least one record.  ``registry``/``tracer`` are
-    wired through :meth:`BaseFTL.attach_observability`.
+    ``config`` (a :class:`RunConfig`) carries every run parameter beyond
+    the (system, workload) identity; ``run_system(system, context)``
+    alone runs with the defaults.  The pre-RunConfig keyword arguments
+    (and the old ``paper_pool_entries`` third positional) still work for
+    one release with a :class:`DeprecationWarning`; mixing them with
+    ``config=`` is an error.
 
-    With ``reuse_prefill`` (the default) preconditioning goes through the
-    process prefill cache: the first run of an FTL family pays the
-    per-page write loop, siblings restore the snapshot by copy.  The
-    restored state is bit-identical to a direct prefill (the determinism
-    tests enforce this); pass ``reuse_prefill=False`` to force the direct
-    path anyway.
+    ``config.observer`` (a :class:`~repro.obs.TimeSeriesSampler`) is
+    attached after preconditioning so samples cover only the measured
+    trace window; a final sample is forced at the run horizon so short
+    traces always produce at least one record.  ``registry``/``tracer``
+    are wired through :meth:`BaseFTL.attach_observability`, and
+    ``config.faults`` attaches a fresh seeded
+    :class:`~repro.faults.FaultModel` — also post-precondition, so the
+    prefill snapshot cache stays fault-free.
+
+    With ``config.reuse_prefill`` (the default) preconditioning goes
+    through the process prefill cache: the first run of an FTL family
+    pays the per-page write loop, siblings restore the snapshot by copy.
+    The restored state is bit-identical to a direct prefill (the
+    determinism tests enforce this).
     """
-    entries = scaled_pool_entries(paper_pool_entries, scale)
-    if reuse_prefill:
+    if isinstance(config, RunConfig):
+        mixed = dict(
+            scale=scale,
+            paper_pool_entries=paper_pool_entries,
+            queue_depth=queue_depth,
+            observer=observer,
+            registry=registry,
+            tracer=tracer,
+            reuse_prefill=reuse_prefill,
+        )
+        extras = [k for k, v in mixed.items() if v is not None]
+        if extras:
+            raise TypeError(
+                f"run_system got config= and legacy argument(s) "
+                f"{', '.join(extras)}; put them in the RunConfig"
+            )
+        cfg = config
+    else:
+        cfg = _config_from_legacy(
+            "run_system",
+            config,
+            dict(
+                paper_pool_entries=(
+                    config if config is not None else paper_pool_entries
+                ),
+                scale=scale,
+                queue_depth=queue_depth,
+                observer=observer,
+                registry=registry,
+                tracer=tracer,
+                reuse_prefill=reuse_prefill,
+            ),
+        )
+    entries = scaled_pool_entries(cfg.paper_pool_entries, cfg.scale)
+    if cfg.reuse_prefill:
         from ..perf.snapshot import default_prefill_cache
 
         ftl = default_prefill_cache().prefilled_system(
@@ -168,23 +242,31 @@ def run_system(
     else:
         ftl = build_system(system, context.config, entries)
         prefill(ftl, context.profile)
-    if registry is not None or tracer is not None:
-        ftl.attach_observability(registry=registry, tracer=tracer)
-    device = SimulatedSSD(ftl, queue_depth=queue_depth, observer=observer)
+    if cfg.faults is not None:
+        from ..faults.model import FaultModel
+
+        ftl.attach_faults(FaultModel(cfg.faults))
+    if cfg.registry is not None or cfg.tracer is not None:
+        ftl.attach_observability(registry=cfg.registry, tracer=cfg.tracer)
+    device = SimulatedSSD(
+        ftl, queue_depth=cfg.queue_depth, observer=cfg.observer
+    )
     result = device.run(
         context.trace, system=system, workload=context.profile.name
     )
-    if observer is not None:
-        observer.force_sample(device.horizon_us)
+    if cfg.observer is not None:
+        cfg.observer.force_sample(device.horizon_us)
     return result
 
 
 def run_matrix(
     workloads: Sequence[str],
     systems: Sequence[str],
-    scale: float = DEFAULT_SCALE,
-    paper_pool_entries: int = 200_000,
-    jobs: int = 1,
+    config: Union[RunConfig, float, None] = None,
+    paper_pool_entries: Optional[int] = None,
+    *,
+    scale: Optional[float] = None,
+    jobs: Optional[int] = None,
     queue_depth: Optional[int] = None,
     observer_factory: Optional[
         Callable[[str, str], "TimeSeriesSampler"]
@@ -192,54 +274,84 @@ def run_matrix(
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (workload, system) pair; results[workload][system].
 
-    ``jobs`` fans cells out over worker processes (``None``/``0`` = all
+    ``config`` (a :class:`RunConfig`) carries the per-run parameters;
+    its ``jobs`` field fans cells out over worker processes (``0`` = all
     cores); results are collected in deterministic (workload, system)
-    order and are digest-identical to the serial path.
+    order and are digest-identical to the serial path.  The
+    pre-RunConfig keyword arguments (and the old ``scale`` third
+    positional) still work for one release with a
+    :class:`DeprecationWarning`.
+
     ``observer_factory(workload, system)`` builds a fresh per-cell
     :class:`~repro.obs.TimeSeriesSampler`; samplers hold callbacks that
     cannot cross a process boundary, so observers require ``jobs=1``.
+    ``config.faults`` applies the *same* fault config to every cell —
+    each cell gets its own freshly seeded model, which is what keeps
+    fault matrices bit-identical across ``jobs`` settings.
     """
-    if observer_factory is not None and jobs != 1:
+    if isinstance(config, RunConfig):
+        extras = [
+            k
+            for k, v in dict(
+                paper_pool_entries=paper_pool_entries,
+                scale=scale,
+                jobs=jobs,
+                queue_depth=queue_depth,
+            ).items()
+            if v is not None
+        ]
+        if extras:
+            raise TypeError(
+                f"run_matrix got config= and legacy argument(s) "
+                f"{', '.join(extras)}; put them in the RunConfig"
+            )
+        cfg = config
+    else:
+        cfg = _config_from_legacy(
+            "run_matrix",
+            config,
+            dict(
+                scale=config if config is not None else scale,
+                paper_pool_entries=paper_pool_entries,
+                jobs=jobs,
+                queue_depth=queue_depth,
+            ),
+        )
+    if observer_factory is not None and cfg.jobs != 1:
         raise ValueError(
             "observer_factory requires jobs=1: samplers are attached to "
             "the live device and cannot be shipped to worker processes"
         )
-    if jobs != 1:
+    if cfg.jobs != 1:
+        if not cfg.picklable:
+            raise ValueError(
+                "a RunConfig carrying an observer/registry/tracer cannot "
+                "fan out to worker processes; use jobs=1"
+            )
         from ..perf.parallel import run_specs
         from ..perf.spec import RunSpec
 
         specs = [
-            RunSpec(
-                workload=workload,
-                system=system,
-                paper_pool_entries=paper_pool_entries,
-                scale=scale,
-                queue_depth=queue_depth,
-            )
+            RunSpec.from_config(workload, system, cfg)
             for workload in workloads
             for system in systems
         ]
-        flat = iter(run_specs(specs, jobs=jobs))
+        flat = iter(run_specs(specs, jobs=cfg.jobs))
         return {
             workload: {system: next(flat) for system in systems}
             for workload in workloads
         }
     results: Dict[str, Dict[str, RunResult]] = {}
     for workload in workloads:
-        context = ExperimentContext.for_workload(workload, scale)
+        context = ExperimentContext.for_workload(workload, cfg.scale)
         results[workload] = {}
         for system in systems:
-            observer = (
-                observer_factory(workload, system)
-                if observer_factory is not None
-                else None
-            )
+            cell_cfg = cfg
+            if observer_factory is not None:
+                cell_cfg = cfg.replace(
+                    observer=observer_factory(workload, system)
+                )
             results[workload][system] = run_system(
-                system,
-                context,
-                paper_pool_entries,
-                scale,
-                queue_depth=queue_depth,
-                observer=observer,
+                system, context, config=cell_cfg
             )
     return results

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and crash recovery for the simulated SSD.
+
+The reproduction's device model is otherwise perfect; this package makes
+it realistically unreliable, on demand and reproducibly:
+
+* :class:`FaultConfig` / :class:`FaultModel` — seeded program/erase/read
+  fault injection (:mod:`repro.faults.model`);
+* bad-block management — :class:`~repro.ftl.allocator.BadBlockManager`,
+  wired through the FTL and GC;
+* power loss and OOB-scan crash recovery (:mod:`repro.faults.recovery`).
+
+Everything defaults off: an unconfigured run is digest-identical to a
+build without this package.
+"""
+
+from .model import FaultConfig, FaultModel, FaultStats
+from .recovery import (
+    RecoveryError,
+    RecoveryReport,
+    crash_and_recover,
+    rebuild_mapping,
+)
+
+__all__ = [
+    "FaultConfig",
+    "FaultModel",
+    "FaultStats",
+    "RecoveryError",
+    "RecoveryReport",
+    "crash_and_recover",
+    "rebuild_mapping",
+]

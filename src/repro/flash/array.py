@@ -32,6 +32,7 @@ class FlashArray:
         self.invalid_pages = 0
         self.total_erases = 0
         self.total_programs = 0
+        self.retired_blocks = 0
 
     # ------------------------------------------------------------------
 
@@ -76,6 +77,21 @@ class FlashArray:
         self.total_erases += 1
         return reclaimed
 
+    def retire_block(self, block_global: int) -> None:
+        """Remove a grown-bad block from service (fault layer).
+
+        The block's remaining pages leave the drive's accounting entirely:
+        they are neither free (nothing may program here again) nor invalid
+        (nothing is left to reclaim).  Capacity shrinks; ``free_fraction``
+        keeps the raw-capacity denominator so retirement raises GC pressure
+        exactly like a real drive losing spare area.
+        """
+        block = self.blocks[block_global]
+        self.invalid_pages -= block.invalid_count
+        self.free_pages -= block.free_pages
+        block.retire()
+        self.retired_blocks += 1
+
     # ------------------------------------------------------------------
 
     def free_fraction(self) -> float:
@@ -84,12 +100,16 @@ class FlashArray:
 
     def check_invariants(self) -> None:
         """Recompute totals from scratch and compare (test hook)."""
-        free = valid = invalid = 0
+        free = valid = invalid = retired = 0
         for block in self.blocks:
             block.check_invariants()
+            if block.retired:
+                retired += 1
+                continue
             valid += block.valid_count
             invalid += block.invalid_count
             free += block.pages_per_block - block.write_pointer
+        assert retired == self.retired_blocks, "retired_blocks out of sync"
         assert free == self.free_pages, "free_pages out of sync"
         assert valid == self.valid_pages, "valid_pages out of sync"
         assert invalid == self.invalid_pages, "invalid_pages out of sync"

@@ -36,6 +36,7 @@ class Block:
         "valid_count",
         "invalid_count",
         "erase_count",
+        "retired",
     )
 
     def __init__(self, pages_per_block: int):
@@ -47,6 +48,8 @@ class Block:
         self.valid_count = 0
         self.invalid_count = 0
         self.erase_count = 0
+        #: Grown-bad block: permanently removed from service (fault layer).
+        self.retired = False
 
     # ------------------------------------------------------------------
 
@@ -63,6 +66,8 @@ class Block:
 
     def program_next(self) -> int:
         """Program the next free page as VALID; return its in-block index."""
+        if self.retired:
+            raise RuntimeError("programming a retired (grown-bad) block")
         if self.is_full:
             raise RuntimeError("programming a full block")
         page = self.write_pointer
@@ -93,6 +98,8 @@ class Block:
 
     def erase(self) -> None:
         """Erase the block; only legal when no valid data remains."""
+        if self.retired:
+            raise RuntimeError("erasing a retired (grown-bad) block")
         if self.valid_count != 0:
             raise RuntimeError("erasing a block that still holds valid pages")
         self.states = [PageState.FREE] * self.pages_per_block
@@ -100,6 +107,21 @@ class Block:
         self.valid_count = 0
         self.invalid_count = 0
         self.erase_count += 1
+
+    def retire(self) -> None:
+        """Remove the block from service after an unrecoverable failure.
+
+        Only legal once its valid data has been relocated; the page states
+        are cleared (nothing is addressable here any more) and the block
+        never accepts programs or erases again.
+        """
+        if self.valid_count != 0:
+            raise RuntimeError("retiring a block that still holds valid pages")
+        self.states = [PageState.FREE] * self.pages_per_block
+        self.write_pointer = 0
+        self.valid_count = 0
+        self.invalid_count = 0
+        self.retired = True
 
     def valid_page_indexes(self) -> List[int]:
         """In-block indexes of VALID pages (relocation set during GC)."""

@@ -29,6 +29,7 @@ class TimingParams:
     hash_us: float = 12.0          # Helion-style hardware hash core [35]
     channel_xfer_us: float = 10.0  # ONFi 4.0 transfer of a 4KB page
     mapping_us: float = 1.0        # FTL table lookup/update on the controller
+    read_retry_us: float = 40.0    # one ECC read-retry round (shifted Vref sense)
 
     def __post_init__(self) -> None:
         for name in (
@@ -38,9 +39,14 @@ class TimingParams:
             "hash_us",
             "channel_xfer_us",
             "mapping_us",
+            "read_retry_us",
         ):
             if getattr(self, name) < 0:
                 raise ValueError(f"{name} must be non-negative")
+
+    def read_service_us(self, retry_rounds: int = 0) -> float:
+        """Array time of one read including ``retry_rounds`` ECC retries."""
+        return self.read_us + retry_rounds * self.read_retry_us
 
 
 @dataclass(frozen=True)

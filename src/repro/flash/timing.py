@@ -93,3 +93,17 @@ class TimelineSet:
         """Charge a content-hash computation to the controller hash unit."""
         _, end = self.hash_unit.schedule(arrival, hash_us)
         return end
+
+    def stall_all(self, until: float) -> None:
+        """Hold every resource busy until ``until`` (crash-recovery stall).
+
+        Used by the fault layer: after a power-loss event the drive spends
+        the recovery scan rebuilding its mapping, during which no host or
+        GC operation can start.  Idle time is pushed forward without being
+        counted as busy time, so utilisation stays an activity measure.
+        """
+        for timeline in self.chips:
+            timeline.busy_until = max(timeline.busy_until, until)
+        for timeline in self.channels:
+            timeline.busy_until = max(timeline.busy_until, until)
+        self.hash_unit.busy_until = max(self.hash_unit.busy_until, until)

@@ -10,11 +10,14 @@ avoid cross-channel copy traffic.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional, Set
 
 from ..flash.array import FlashArray
 
-__all__ = ["OutOfSpaceError", "PageAllocator"]
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from ..faults.model import FaultModel, FaultStats
+
+__all__ = ["OutOfSpaceError", "PageAllocator", "BadBlockManager"]
 
 
 class OutOfSpaceError(RuntimeError):
@@ -113,6 +116,9 @@ class PageAllocator:
         for plane, blocks in enumerate(self.free_blocks):
             for block in blocks:
                 b = self.array.block(block)
+                assert not b.retired, (
+                    f"retired block {block} on a free list"
+                )
                 assert b.write_pointer == 0, (
                     f"free-listed block {block} has programmed pages"
                 )
@@ -122,3 +128,114 @@ class PageAllocator:
                     assert not self.array.block(block).is_full, (
                         f"active block {block} is full"
                     )
+
+
+class BadBlockManager:
+    """Grown-bad-block bookkeeping: spare budget, retirement, degradation.
+
+    Real drives ship a reserved pool of spare blocks *per plane* (a spare
+    can only remap failures within its own plane's rotation) and remap
+    grown-bad blocks onto it transparently.  The reproduction models the
+    budget virtually: a retired block simply leaves its plane's rotation
+    (it is never free-listed again) and is charged against that plane's
+    ``spares_per_plane`` share; while the share lasts, the capacity loss
+    is what a remap onto a spare would have absorbed.  Once any plane's
+    retirements exceed its share, that plane has lost real exported
+    capacity — and because host writes stripe round-robin over *all*
+    planes, the drive degrades to read-only as a whole, exactly the
+    end-of-life behaviour of a real SSD.  (A global budget would be
+    wrong twice over: it lets one unlucky plane bleed out its free-block
+    slack while the drive still looks healthy, which ends in a hard
+    out-of-space failure mid-GC instead of a graceful rejection.)
+
+    The manager is pure bookkeeping: the :class:`~repro.ftl.gc.GarbageCollector`
+    asks :meth:`should_retire` at erase time and performs the physical
+    retirement; the FTL reports program failures via
+    :meth:`note_program_failure` as they happen.
+    """
+
+    def __init__(
+        self,
+        stats: "FaultStats",
+        spares_per_plane: int,
+        retire_threshold: int,
+        plane_of_block: Callable[[int], int],
+        planes: int,
+    ):
+        if spares_per_plane < 0:
+            raise ValueError("spares_per_plane must be non-negative")
+        if retire_threshold < 1:
+            raise ValueError("retire_threshold must be at least 1")
+        if planes < 1:
+            raise ValueError("planes must be at least 1")
+        self.stats = stats
+        self.spares_per_plane = spares_per_plane
+        self.retire_threshold = retire_threshold
+        self.plane_of_block = plane_of_block
+        self.planes = planes
+        self.retired: Set[int] = set()
+        self._retired_in_plane: Dict[int, int] = {}
+        self._program_failures: Dict[int, int] = {}
+        self._marked: Set[int] = set()
+
+    @property
+    def spare_blocks(self) -> int:
+        """Total spare budget across all planes."""
+        return self.spares_per_plane * self.planes
+
+    @property
+    def spares_remaining(self) -> int:
+        """Unspent spares, summed over planes (each share is captive)."""
+        spent = sum(
+            min(count, self.spares_per_plane)
+            for count in self._retired_in_plane.values()
+        )
+        return self.spare_blocks - spent
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether any plane has outspent its spare share."""
+        return any(
+            count > self.spares_per_plane
+            for count in self._retired_in_plane.values()
+        )
+
+    def retired_in_plane(self, plane: int) -> int:
+        return self._retired_in_plane.get(plane, 0)
+
+    def note_program_failure(self, block_global: int) -> None:
+        """A page program failed in this block; mark the block for
+        retirement once failures reach the threshold."""
+        count = self._program_failures.get(block_global, 0) + 1
+        self._program_failures[block_global] = count
+        if count >= self.retire_threshold:
+            self._marked.add(block_global)
+
+    def marked_for_retirement(self, block_global: int) -> bool:
+        return block_global in self._marked
+
+    def should_retire(
+        self, block_global: int, faults: "Optional[FaultModel]"
+    ) -> bool:
+        """Decide at erase time: retire if the block accumulated enough
+        program failures, or if the erase itself fails (one seeded draw)."""
+        if block_global in self._marked:
+            return True
+        return faults is not None and faults.erase_fails()
+
+    def retire(self, block_global: int) -> bool:
+        """Record a retirement.  Returns ``True`` while the block's
+        plane still has spare share to cover it (a remap), ``False``
+        once that plane's reserve is exhausted and the drive must
+        degrade to read-only."""
+        self.retired.add(block_global)
+        self._marked.discard(block_global)
+        self._program_failures.pop(block_global, None)
+        self.stats.retired_blocks += 1
+        plane = self.plane_of_block(block_global)
+        count = self._retired_in_plane.get(plane, 0) + 1
+        self._retired_in_plane[plane] = count
+        if count <= self.spares_per_plane:
+            self.stats.remaps += 1
+            return True
+        return False

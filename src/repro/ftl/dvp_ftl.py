@@ -22,13 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from ..core.adaptive import AdaptiveMQDeadValuePool
-from ..core.dvp import (
-    InfiniteDeadValuePool,
-    LBARecencyPool,
-    LRUDeadValuePool,
-    MQDeadValuePool,
-)
+from ..core.dvp import pool_from_name
 from ..flash.config import SSDConfig
 from .dedup import DedupFTL
 from .ftl import BaseFTL
@@ -57,7 +51,7 @@ def make_baseline(config: SSDConfig) -> BaseFTL:
 
 def make_lru_dvp(config: SSDConfig, pool_entries: int) -> BaseFTL:
     """FTL with the recency-only pool of Figure 5."""
-    return BaseFTL(config, pool=LRUDeadValuePool(pool_entries))
+    return BaseFTL(config, pool=pool_from_name("lru", pool_entries))
 
 
 def make_mq_dvp(
@@ -70,7 +64,7 @@ def make_mq_dvp(
     """The proposal: MQ dead-value pool plus popularity-aware GC."""
     return BaseFTL(
         config,
-        pool=MQDeadValuePool(pool_entries, num_queues=num_queues),
+        pool=pool_from_name("mq", pool_entries, num_queues=num_queues),
         popularity_aware_gc=popularity_aware_gc,
         gc_weight=gc_weight,
     )
@@ -78,14 +72,14 @@ def make_mq_dvp(
 
 def make_ideal(config: SSDConfig) -> BaseFTL:
     """Infinite pool: the maximum achievable gain, not implementable."""
-    return BaseFTL(config, pool=InfiniteDeadValuePool())
+    return BaseFTL(config, pool=pool_from_name("infinite"))
 
 
 def make_lxssd(config: SSDConfig, pool_entries: int) -> BaseFTL:
     """LX-SSD (Zhou et al., MSST 2017) as characterised by the paper."""
     return BaseFTL(
         config,
-        pool=LBARecencyPool(pool_entries),
+        pool=pool_from_name("lba-recency", pool_entries),
         combine_read_popularity=True,
     )
 
@@ -98,14 +92,10 @@ def make_adaptive_dvp(
 ) -> BaseFTL:
     """The future-work variant: the MQ pool resizes itself to the workload
     (starts at a quarter of the given budget, may grow to it)."""
-    pool = AdaptiveMQDeadValuePool(
-        initial_entries=max(64, pool_entries // 4),
-        min_entries=64,
-        max_entries=pool_entries,
-        num_queues=num_queues,
-    )
     return BaseFTL(
-        config, pool=pool, popularity_aware_gc=popularity_aware_gc
+        config,
+        pool=pool_from_name("adaptive", pool_entries, num_queues=num_queues),
+        popularity_aware_gc=popularity_aware_gc,
     )
 
 
@@ -123,7 +113,7 @@ def make_dvp_dedup(
     """DVP+Dedup: the combined system of Section VII."""
     return DedupFTL(
         config,
-        pool=MQDeadValuePool(pool_entries, num_queues=num_queues),
+        pool=pool_from_name("mq", pool_entries, num_queues=num_queues),
         popularity_aware_gc=True,
         gc_weight=gc_weight,
     )

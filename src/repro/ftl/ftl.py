@@ -24,13 +24,16 @@ uses the LBA-recency pool with combined read+write popularity.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..core.dvp import DeadValuePool
 from ..core.hashing import Fingerprint
 from ..flash.array import FlashArray
 from ..flash.config import SSDConfig
-from .allocator import PageAllocator
+from .allocator import BadBlockManager, PageAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from ..faults.model import FaultModel
 from .gc import (
     GarbageCollector,
     GCWork,
@@ -84,6 +87,12 @@ class WriteOutcome:
     #: these; see repro.ftl.dftl).
     translation_reads: int = 0
     translation_writes: int = 0
+    #: Fault layer: PPNs burned by failed program attempts (each still
+    #: costs a full program latency), and whether the write was dropped
+    #: (retries exhausted, or the drive is read-only).  ``None`` rather
+    #: than an empty list keeps the fault-free hot path allocation-free.
+    failed_program_ppns: Optional[List[int]] = None
+    rejected: bool = False
     gc: GCWork = field(default_factory=GCWork)
 
     @property
@@ -171,6 +180,22 @@ class BaseFTL:
         #: Optional :class:`~repro.obs.Tracer`; ``attach_observability``
         #: sets it.  ``None`` keeps the hot path branch-predictable.
         self.tracer = None
+        self._registry = None
+        #: Fault layer (``attach_faults`` sets these).  ``None`` keeps the
+        #: fault-free path to one identity check per operation.
+        self.faults: Optional["FaultModel"] = None
+        self.badblocks: Optional[BadBlockManager] = None
+        #: Spare-block pool exhausted: every further host write is rejected.
+        self.read_only = False
+        # Out-of-band metadata journal: what a real FTL writes into each
+        # page's spare area.  ``_oob[ppn] = (lpn, seq)`` records which LPN
+        # the page was written for and a monotonic sequence number, and
+        # ``_oob_trims[lpn]`` the seq at which the LPN was last trimmed.
+        # Crash recovery (repro.faults.recovery) rebuilds the L2P mapping
+        # purely from this journal: newest VALID copy per LPN wins.
+        self._oob: Dict[int, Tuple[int, int]] = {}
+        self._oob_trims: Dict[int, int] = {}
+        self._oob_seq = 0
         # Content bookkeeping: fingerprint stored at each programmed PPN.
         self._ppn_fp: Dict[int, Fingerprint] = {}
         # Exact per-value write popularity, saturating at the 1-byte budget
@@ -229,7 +254,60 @@ class BaseFTL:
                 register = getattr(self.pool, "register_metrics", None)
                 if register is not None:
                     register(registry)
+            self._registry = registry
+            if self.faults is not None:
+                self.faults.register_metrics(registry)
+                registry.gauge(
+                    "faults.spares_remaining",
+                    lambda: self.badblocks.spares_remaining,
+                )
+                registry.gauge("faults.read_only", lambda: int(self.read_only))
         return self
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+
+    def attach_faults(self, model: "FaultModel") -> "BaseFTL":
+        """Arm fault injection on a live FTL.  Returns ``self``.
+
+        Called *after* prefill, so cached prefill snapshots stay
+        fault-free and shareable across fault and fault-free runs.  The
+        spare pool is sized per plane — ``spare_block_fraction`` of each
+        plane's blocks, at least one — because a spare can only absorb
+        retirements in its own plane (see
+        :class:`~repro.ftl.allocator.BadBlockManager`).
+        """
+        self.faults = model
+        geometry = self.array.geometry
+        spares_per_plane = max(
+            1,
+            int(
+                geometry.blocks_per_plane
+                * model.config.spare_block_fraction
+            ),
+        )
+        self.badblocks = BadBlockManager(
+            model.stats,
+            spares_per_plane=spares_per_plane,
+            retire_threshold=model.config.program_failure_retire_threshold,
+            plane_of_block=geometry.plane_of_block,
+            planes=geometry.total_planes,
+        )
+        if self._registry is not None:
+            model.register_metrics(self._registry)
+            self._registry.gauge(
+                "faults.spares_remaining",
+                lambda: self.badblocks.spares_remaining,
+            )
+            self._registry.gauge(
+                "faults.read_only", lambda: int(self.read_only)
+            )
+        return self
+
+    def enter_read_only(self) -> None:
+        """Degrade to read-only (spare-block pool exhausted)."""
+        self.read_only = True
 
     # ------------------------------------------------------------------
     # Host operations
@@ -246,6 +324,12 @@ class BaseFTL:
         self._check_lpn(lpn)
         self.write_clock += 1
         self.counters.host_writes += 1
+        if self.read_only:
+            # End-of-life degradation: the write fails before it touches
+            # any state (the old copy at ``lpn`` survives).
+            if self.faults is not None:
+                self.faults.stats.rejected_writes += 1
+            return WriteOutcome(lpn=lpn, rejected=True)
         popularity = self._bump_write_popularity(fp)
         self.mapping.set_popularity(lpn, popularity)
         outcome = WriteOutcome(lpn=lpn, hashed=self.content_aware)
@@ -288,6 +372,10 @@ class BaseFTL:
         self._check_lpn(lpn)
         self.counters.host_trims += 1
         self._invalidate_lpn(lpn)
+        # Journal the trim so crash recovery does not resurrect the LPN
+        # from its (still newest) dead copy.
+        self._oob_seq += 1
+        self._oob_trims[lpn] = self._oob_seq
 
     def read(self, lpn: int) -> ReadOutcome:
         """Service one 4KB host read."""
@@ -320,6 +408,11 @@ class BaseFTL:
                 f"({self.config.logical_pages} pages)"
             )
 
+    def _record_oob(self, ppn: int, lpn: int) -> None:
+        """Journal (lpn, seq) into ``ppn``'s out-of-band area."""
+        self._oob_seq += 1
+        self._oob[ppn] = (lpn, self._oob_seq)
+
     def _bump_write_popularity(self, fp: Fingerprint) -> int:
         value = min(self._write_popularity.get(fp, 0) + 1, POPULARITY_MAX)
         self._write_popularity[fp] = value
@@ -332,18 +425,53 @@ class BaseFTL:
             pop = min(pop + self._read_popularity.get(fp, 0), POPULARITY_MAX)
         return pop
 
-    def _program(self, lpn: int, fp: Fingerprint, outcome: WriteOutcome) -> int:
+    def _program(
+        self, lpn: int, fp: Fingerprint, outcome: WriteOutcome
+    ) -> Optional[int]:
         # Collect *before* allocating, so the target plane always has room
         # for this write and for any relocations GC itself needs.
         plane = self.allocator.plane_of_next_write()
         work = self.gc.maybe_collect(plane)
-        if work.erase_count or work.relocation_count:
+        if work.erase_count or work.relocation_count or work.retired_blocks:
             self.counters.gc_erases += work.erase_count
             self.counters.gc_relocations += work.relocation_count
             outcome.gc.merge(work)
+        if self.read_only:
+            # The collection pass just degraded the drive (spare pool
+            # exhausted, or a retirement would have stranded the plane):
+            # reject the in-flight write before touching allocator state.
+            if self.faults is not None:
+                self.faults.stats.rejected_writes += 1
+            outcome.rejected = True
+            return None
         ppn = self.allocator.allocate()
+        faults = self.faults
+        if faults is not None and faults.injects_program_failures:
+            attempts = 1
+            while faults.program_fails():
+                # The page is burned: it becomes garbage for GC to reclaim
+                # (not a value death — no pool insertion), and the block
+                # takes a strike toward retirement.
+                self.array.invalidate(ppn)
+                if outcome.failed_program_ppns is None:
+                    outcome.failed_program_ppns = []
+                outcome.failed_program_ppns.append(ppn)
+                if self.badblocks is not None:
+                    self.badblocks.note_program_failure(
+                        self.array.geometry.block_of_ppn(ppn)
+                    )
+                if attempts >= faults.config.max_program_retries:
+                    faults.stats.rejected_writes += 1
+                    outcome.rejected = True
+                    return None
+                attempts += 1
+                # Retry within the same plane; the collection above left it
+                # at least one free block, so a handful of retries cannot
+                # strand it.
+                ppn = self.allocator.allocate_in_plane(plane)
         self.mapping.map(lpn, ppn)
         self._ppn_fp[ppn] = fp
+        self._record_oob(ppn, lpn)
         self.counters.programs += 1
         return ppn
 
@@ -357,6 +485,7 @@ class BaseFTL:
         self.array.revive(ppn)
         self._clear_garbage_pop(ppn)
         self.mapping.map(lpn, ppn)
+        self._record_oob(ppn, lpn)
         self.counters.short_circuits += 1
 
     def _invalidate_lpn(self, lpn: int) -> None:
@@ -418,6 +547,10 @@ class BaseFTL:
         fp = self._ppn_fp.pop(old_ppn, None)
         if fp is not None:
             self._ppn_fp[new_ppn] = fp
+        entry = self._oob.pop(old_ppn, None)
+        if entry is not None:
+            # GC rewrote the page, so its OOB area is rewritten too.
+            self._record_oob(new_ppn, entry[0])
 
     def erase_cleanup(self, block_global: int, invalid_ppns: List[int]) -> None:
         for ppn in invalid_ppns:
@@ -425,6 +558,7 @@ class BaseFTL:
             if fp is not None and self.pool is not None:
                 self.pool.discard_ppn(fp, ppn)
             self._clear_garbage_pop(ppn)
+            self._oob.pop(ppn, None)
 
     # ------------------------------------------------------------------
 
@@ -440,3 +574,4 @@ class BaseFTL:
                 f"mapped PPN {ppn} is not VALID"
             )
             assert ppn in self._ppn_fp, f"mapped PPN {ppn} has no fingerprint"
+            assert ppn in self._oob, f"mapped PPN {ppn} has no OOB record"

@@ -46,6 +46,9 @@ class GCWork:
 
     relocations: List[Tuple[int, int]] = field(default_factory=list)
     erased_blocks: List[int] = field(default_factory=list)
+    #: Victims whose erase failed (or that were marked bad): removed from
+    #: service instead of being reclaimed.  Fault layer only.
+    retired_blocks: List[int] = field(default_factory=list)
     reclaimed_pages: int = 0
 
     @property
@@ -59,6 +62,7 @@ class GCWork:
     def merge(self, other: "GCWork") -> None:
         self.relocations.extend(other.relocations)
         self.erased_blocks.extend(other.erased_blocks)
+        self.retired_blocks.extend(other.retired_blocks)
         self.reclaimed_pages += other.reclaimed_pages
 
 
@@ -226,7 +230,9 @@ class GarbageCollector:
 
     def _collect_to_watermark(self, plane: int, work: GCWork) -> None:
         for _ in range(self.max_blocks_per_invocation):
-            if not self.needs_collection(plane):
+            if not self.needs_collection(plane) or getattr(
+                self.delegate, "read_only", False
+            ):
                 break
             capacity = self.allocator.writable_pages(plane)
             victim = self.policy.select(
@@ -241,8 +247,13 @@ class GarbageCollector:
         # least one free block, or the *next* write could strand it (two
         # active blocks — host and relocation — may each need to open one).
         # Keep collecting past the per-invocation bound until that reserve
-        # exists or nothing is collectible.
-        while self.allocator.free_block_count(plane) == 0:
+        # exists or nothing is collectible.  A drive that went read-only
+        # mid-invocation stops instead: writes are rejected from here on,
+        # so the reserve no longer needs restoring.
+        while (
+            self.allocator.free_block_count(plane) == 0
+            and not getattr(self.delegate, "read_only", False)
+        ):
             capacity = self.allocator.writable_pages(plane)
             victim = self.policy.select(
                 self._candidates(plane, capacity),
@@ -296,7 +307,35 @@ class GarbageCollector:
             work.relocations.append((old_ppn, new_ppn))
         invalid_ppns = [base_ppn + p for p in block.invalid_page_indexes()]
         self.delegate.erase_cleanup(victim, invalid_ppns)
-        work.reclaimed_pages += self.array.erase(victim)
-        self.allocator.release_block(victim)
-        work.erased_blocks.append(victim)
+        # Fault layer: a victim marked bad (repeat program failures) or
+        # whose erase fails is retired instead of reclaimed.  The delegate
+        # attributes are absent on bare FTLs, so the fault-free path pays
+        # two getattr calls per victim and nothing else.
+        badblocks = getattr(self.delegate, "badblocks", None)
+        if badblocks is not None and badblocks.should_retire(
+            victim, getattr(self.delegate, "faults", None)
+        ):
+            if self.allocator.free_block_count(plane) == 0:
+                # Retiring this victim would consume the plane's last bit
+                # of relocation headroom: a collection pass that ends with
+                # zero free blocks leaves the *next* pass unable to open a
+                # relocation block (hard OutOfSpaceError mid-GC).  Keep
+                # the invariant that every pass returns a block to the
+                # plane — degrade to read-only instead and reclaim the
+                # victim normally; the bad block staying in rotation is
+                # harmless because all future writes are rejected.
+                self.delegate.enter_read_only()
+                work.reclaimed_pages += self.array.erase(victim)
+                self.allocator.release_block(victim)
+                work.erased_blocks.append(victim)
+            else:
+                self.array.retire_block(victim)
+                work.retired_blocks.append(victim)
+                if not badblocks.retire(victim):
+                    # Spare pool exhausted: degrade to read-only.
+                    self.delegate.enter_read_only()
+        else:
+            work.reclaimed_pages += self.array.erase(victim)
+            self.allocator.release_block(victim)
+            work.erased_blocks.append(victim)
         return work

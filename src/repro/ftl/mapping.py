@@ -84,6 +84,10 @@ class MappingTable:
     def mapped_ppns(self) -> Iterable[int]:
         return self._ppn_to_lpns.keys()
 
+    def forward_items(self) -> Dict[int, int]:
+        """A copy of the full LPN→PPN table (crash-recovery verification)."""
+        return dict(self._lpn_to_ppn)
+
     # ------------------------------------------------------------------
     # Popularity byte (Figure 8)
     # ------------------------------------------------------------------

@@ -22,15 +22,24 @@ is switched off:
 """
 
 from .export import JsonlWriter, read_jsonl
-from .registry import Counter, Gauge, MetricRegistry, NULL_COUNTER
+from .registry import (
+    NULL_COUNTER,
+    NULL_HISTOGRAM,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+)
 from .sampler import TimeSeriesSampler
 from .tracer import SpanStats, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "MetricRegistry",
     "NULL_COUNTER",
+    "NULL_HISTOGRAM",
     "TimeSeriesSampler",
     "Tracer",
     "SpanStats",

@@ -8,13 +8,17 @@ flag itself.
 
 Gauges are pull-based: a callable sampled only when a snapshot is taken,
 so registering one costs nothing per request.
+
+Histograms record individual observations (e.g. per-crash recovery
+times); they keep exact samples — the events they record are rare, so a
+sample list beats bucketing for the reports this repo produces.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, List, Union
 
-__all__ = ["Counter", "Gauge", "MetricRegistry", "NULL_COUNTER"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricRegistry", "NULL_COUNTER", "NULL_HISTOGRAM"]
 
 Number = Union[int, float]
 
@@ -64,6 +68,47 @@ class Gauge:
         return self.fn()
 
 
+class Histogram:
+    """A named exact-sample histogram for rare, heavyweight events."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[Number] = []
+
+    def observe(self, value: Number) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> Number:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    @property
+    def maximum(self) -> Number:
+        return max(self.samples) if self.samples else 0.0
+
+    def summary(self) -> Dict[str, Number]:
+        return {"count": self.count, "mean": self.mean, "max": self.maximum}
+
+
+class _NullHistogram(Histogram):
+    """Shared sink for disabled registries: observing is a no-op."""
+
+    __slots__ = ()
+
+    def observe(self, value: Number) -> None:
+        pass
+
+
+#: The one no-op histogram every disabled registry hands out.
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
 class MetricRegistry:
     """Registry of named counters and gauges.
 
@@ -79,6 +124,7 @@ class MetricRegistry:
         self.enabled = enabled
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         """The counter registered under ``name`` (created on first use)."""
@@ -98,11 +144,25 @@ class MetricRegistry:
     def unregister_gauge(self, name: str) -> None:
         self._gauges.pop(name, None)
 
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
     def counters(self) -> Dict[str, Number]:
         return {name: c.value for name, c in sorted(self._counters.items())}
 
     def gauges(self) -> Dict[str, Number]:
         return {name: g.read() for name, g in sorted(self._gauges.items())}
+
+    def histograms(self) -> Dict[str, Dict[str, Number]]:
+        return {
+            name: h.summary() for name, h in sorted(self._histograms.items())
+        }
 
     def snapshot(self) -> Dict[str, Number]:
         """All metric values in one flat dict (counters shadow nothing:

@@ -43,7 +43,8 @@ __all__ = ["PrefillCache", "default_prefill_cache"]
 #: FTL attributes that fully determine the shared post-prefill state.
 #: ``array``/``allocator``/``mapping`` carry the drive; ``_ppn_fp`` and
 #: ``_write_popularity`` the content bookkeeping; ``write_clock`` the
-#: logical time prefill advanced to.
+#: logical time prefill advanced to; ``_oob``/``_oob_seq``/``_oob_trims``
+#: the out-of-band journal crash recovery scans.
 _SHARED_ATTRS = (
     "array",
     "allocator",
@@ -51,6 +52,9 @@ _SHARED_ATTRS = (
     "write_clock",
     "_ppn_fp",
     "_write_popularity",
+    "_oob",
+    "_oob_seq",
+    "_oob_trims",
 )
 
 #: Families eligible for snapshot sharing.  Exact classes only: a subclass

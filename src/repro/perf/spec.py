@@ -22,7 +22,9 @@ import time
 from dataclasses import asdict, dataclass, replace
 from typing import Optional, Tuple
 
-from ..experiments.runner import DEFAULT_SCALE, ExperimentContext, run_system
+from ..experiments.config import DEFAULT_SCALE, RunConfig
+from ..experiments.runner import ExperimentContext, run_system
+from ..faults.model import FaultConfig
 from ..sim.metrics import RunResult
 from ..traces.profiles import WorkloadProfile, profile_by_name
 
@@ -40,7 +42,7 @@ _DIGEST_PROTOCOL = 4
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One (workload, system, pool, scale, seed, qd) matrix cell, by value."""
+    """One (workload, system, pool, scale, seed, qd, faults) cell, by value."""
 
     workload: str
     system: str
@@ -48,6 +50,42 @@ class RunSpec:
     scale: float = DEFAULT_SCALE
     seed: Optional[int] = None
     queue_depth: Optional[int] = None
+    faults: Optional[FaultConfig] = None
+
+    @classmethod
+    def from_config(
+        cls,
+        workload: str,
+        system: str,
+        config: RunConfig,
+        seed: Optional[int] = None,
+    ) -> "RunSpec":
+        """The spec that runs ``(workload, system)`` under ``config``.
+
+        Only the picklable, by-value parts of the config ride along
+        (``observer``/``registry``/``tracer`` are per-process live
+        objects; the caller attaches them on the receiving side if it
+        needs them).
+        """
+        return cls(
+            workload=workload,
+            system=system,
+            paper_pool_entries=config.paper_pool_entries,
+            scale=config.scale,
+            seed=seed,
+            queue_depth=config.queue_depth,
+            faults=config.faults,
+        )
+
+    def run_config(self, reuse_prefill: bool = True) -> RunConfig:
+        """The :class:`RunConfig` equivalent of this spec."""
+        return RunConfig(
+            paper_pool_entries=self.paper_pool_entries,
+            scale=self.scale,
+            queue_depth=self.queue_depth,
+            reuse_prefill=reuse_prefill,
+            faults=self.faults,
+        )
 
     def profile(self) -> WorkloadProfile:
         """The scaled workload profile this spec runs (seed applied)."""
@@ -65,14 +103,13 @@ class RunSpec:
 
 def execute_spec(spec: RunSpec, reuse_prefill: bool = True) -> RunResult:
     """Run one cell.  Pure function of the spec — the determinism tests
-    rely on ``execute_spec(s)`` matching ``run_system`` run by hand."""
+    rely on ``execute_spec(s)`` matching ``run_system`` run by hand.
+    A spec carrying a fault config builds a fresh seeded model for the
+    run, so execution order across workers cannot perturb fault draws."""
     return run_system(
         spec.system,
         spec.context(),
-        paper_pool_entries=spec.paper_pool_entries,
-        scale=spec.scale,
-        queue_depth=spec.queue_depth,
-        reuse_prefill=reuse_prefill,
+        config=spec.run_config(reuse_prefill=reuse_prefill),
     )
 
 
@@ -92,6 +129,11 @@ def result_digest(result: RunResult) -> str:
     Covers identity, all counters, pool statistics, the horizon and the
     exact per-request latency sequences.  Two runs with equal digests
     produced bit-identical :class:`RunResult`s.
+
+    Fault statistics join the payload only when the run carried a fault
+    model, so fault-free digests stay byte-for-byte comparable with
+    digests minted before the fault layer existed (tracked BENCH files
+    and the golden digests in the determinism tests rely on this).
     """
     payload = (
         result.system,
@@ -102,6 +144,8 @@ def result_digest(result: RunResult) -> str:
         result.horizon_us,
         result.pool_stats,
     )
+    if result.fault_stats is not None:
+        payload = payload + (result.fault_stats,)
     return hashlib.sha256(
         pickle.dumps(payload, protocol=_DIGEST_PROTOCOL)
     ).hexdigest()

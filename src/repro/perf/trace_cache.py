@@ -25,7 +25,7 @@ import hashlib
 import os
 import pickle
 from collections import OrderedDict
-from typing import List, Optional
+from typing import Optional, Tuple
 
 from ..sim.request import IORequest
 from ..traces.profiles import WorkloadProfile
@@ -39,8 +39,9 @@ __all__ = [
 ]
 
 #: Bump when the trace format or generator semantics change, so stale
-#: on-disk entries can never be mistaken for current ones.
-_KEY_VERSION = "repro-trace/v1"
+#: on-disk entries can never be mistaken for current ones.  v2: traces
+#: are stored and returned as tuples (shared entries must be immutable).
+_KEY_VERSION = "repro-trace/v2"
 
 
 def profile_cache_key(profile: WorkloadProfile) -> str:
@@ -75,7 +76,7 @@ class TraceCache:
             raise ValueError("max_entries must be positive")
         self.disk_dir = disk_dir
         self.max_entries = max_entries
-        self._mem: "OrderedDict[str, List[IORequest]]" = OrderedDict()
+        self._mem: "OrderedDict[str, Tuple[IORequest, ...]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -87,8 +88,9 @@ class TraceCache:
 
     # ------------------------------------------------------------------
 
-    def get(self, profile: WorkloadProfile) -> List[IORequest]:
-        """The trace for ``profile`` — generated at most once per key."""
+    def get(self, profile: WorkloadProfile) -> Tuple[IORequest, ...]:
+        """The trace for ``profile`` — generated at most once per key,
+        returned as an immutable tuple (the entry is shared)."""
         key = profile_cache_key(profile)
         trace = self._mem.get(key)
         if trace is not None:
@@ -101,7 +103,7 @@ class TraceCache:
             self._remember(key, trace)
             return trace
         self.misses += 1
-        trace = generate_trace(profile)
+        trace = tuple(generate_trace(profile))
         self._remember(key, trace)
         self._store_disk(key, trace)
         return trace
@@ -112,7 +114,7 @@ class TraceCache:
 
     # ------------------------------------------------------------------
 
-    def _remember(self, key: str, trace: List[IORequest]) -> None:
+    def _remember(self, key: str, trace: Tuple[IORequest, ...]) -> None:
         self._mem[key] = trace
         self._mem.move_to_end(key)
         while len(self._mem) > self.max_entries:
@@ -121,16 +123,16 @@ class TraceCache:
     def _disk_path(self, key: str) -> str:
         return os.path.join(self.disk_dir, f"{key}.trace.pkl")
 
-    def _load_disk(self, key: str) -> Optional[List[IORequest]]:
+    def _load_disk(self, key: str) -> Optional[Tuple[IORequest, ...]]:
         if self.disk_dir is None:
             return None
         path = self._disk_path(key)
         if not os.path.exists(path):
             return None
         with open(path, "rb") as f:
-            return pickle.load(f)
+            return tuple(pickle.load(f))
 
-    def _store_disk(self, key: str, trace: List[IORequest]) -> None:
+    def _store_disk(self, key: str, trace: Tuple[IORequest, ...]) -> None:
         if self.disk_dir is None:
             return
         os.makedirs(self.disk_dir, exist_ok=True)
@@ -152,6 +154,6 @@ def default_trace_cache() -> TraceCache:
     return _default
 
 
-def cached_trace(profile: WorkloadProfile) -> List[IORequest]:
+def cached_trace(profile: WorkloadProfile) -> Tuple[IORequest, ...]:
     """One-call helper against the process-default cache."""
     return default_trace_cache().get(profile)

@@ -91,6 +91,9 @@ class RunResult:
     writes: LatencyStats = field(default_factory=LatencyStats)
     horizon_us: float = 0.0
     pool_stats: Optional[Dict[str, float]] = None
+    #: :meth:`FaultStats.summary` of the run, or ``None`` when no fault
+    #: model was attached (the default, digest-compatible shape).
+    fault_stats: Optional[Dict[str, float]] = None
 
     @property
     def all_requests(self) -> LatencyStats:
@@ -130,6 +133,13 @@ class RunResult:
             "write_mean_us": self.writes.mean,
             "horizon_us": self.horizon_us,
         }
+
+    def fault_summary(self) -> Dict[str, float]:
+        """``fault_stats`` with a ``fault.`` key prefix (empty when the run
+        had no fault model attached)."""
+        if self.fault_stats is None:
+            return {}
+        return {f"fault.{key}": value for key, value in self.fault_stats.items()}
 
 
 def percent_improvement(baseline: float, improved: float) -> float:

@@ -66,6 +66,9 @@ class SimulatedSSD:
         self.reads = LatencyStats()
         self.writes = LatencyStats()
         self._horizon_us = 0.0
+        #: :class:`~repro.faults.recovery.RecoveryReport` per power-loss
+        #: event injected during :meth:`run`.
+        self.recovery_reports: list = []
 
     # ------------------------------------------------------------------
 
@@ -108,17 +111,34 @@ class SimulatedSSD:
             now = self.timelines.chip_op(
                 chip, now, self.timing.read_us, self.timing.channel_xfer_us
             )
-        if outcome.program_ppn is not None:
+        if outcome.program_ppn is not None or outcome.failed_program_ppns:
             # GC ran before the allocation, so its reads/programs/erase
             # occupy the chip first and this write queues behind them —
             # "any requests that come during GC are queued up" (Section I).
             self._charge_gc(outcome.gc, now)
-            chip = self.geometry.chip_of_ppn(outcome.program_ppn)
-            finish = self.timelines.chip_op(
-                chip, now, self.timing.program_us, self.timing.channel_xfer_us
-            )
+            finish = now
+            if outcome.failed_program_ppns:
+                # Fault layer: every failed attempt still paid the full
+                # program latency before the status came back bad.
+                for ppn in outcome.failed_program_ppns:
+                    chip = self.geometry.chip_of_ppn(ppn)
+                    finish = self.timelines.chip_op(
+                        chip,
+                        finish,
+                        self.timing.program_us,
+                        self.timing.channel_xfer_us,
+                    )
+            if outcome.program_ppn is not None:
+                chip = self.geometry.chip_of_ppn(outcome.program_ppn)
+                finish = self.timelines.chip_op(
+                    chip,
+                    finish,
+                    self.timing.program_us,
+                    self.timing.channel_xfer_us,
+                )
         else:
-            # Revived garbage page or dedup pointer: tables only, no flash.
+            # Revived garbage page, dedup pointer or rejected write:
+            # tables only, no flash.
             finish = now
         return CompletedRequest(
             request=request,
@@ -139,9 +159,15 @@ class SimulatedSSD:
         now = start + self.timing.mapping_us
         now = self._charge_translation(request.lpn, outcome, now)
         if outcome.flash_read:
+            read_us = self.timing.read_us
+            faults = self.ftl.faults
+            if faults is not None:
+                # ECC read-retry: extra sensing rounds at shifted reference
+                # voltages, all serialised on the page's chip.
+                read_us = self.timing.read_service_us(faults.read_retry_rounds())
             chip = self.geometry.chip_of_ppn(outcome.ppn)
             finish = self.timelines.chip_op(
-                chip, now, self.timing.read_us, self.timing.channel_xfer_us
+                chip, now, read_us, self.timing.channel_xfer_us
             )
         else:
             finish = now
@@ -182,6 +208,11 @@ class SimulatedSSD:
         for block in work.erased_blocks:
             chip = self.geometry.chip_of_block(block)
             self.timelines.chips[chip].schedule(start, self.timing.erase_us)
+        for block in work.retired_blocks:
+            # The failed (or skipped-because-marked) erase attempt still
+            # occupied the chip before the block could be retired.
+            chip = self.geometry.chip_of_block(block)
+            self.timelines.chips[chip].schedule(start, self.timing.erase_us)
 
     # ------------------------------------------------------------------
 
@@ -193,8 +224,14 @@ class SimulatedSSD:
         progress: Optional[Callable[[int], None]] = None,
     ) -> RunResult:
         """Replay a whole trace and package the results."""
+        faults = self.ftl.faults
+        crash_after = (
+            faults.config.crash_after_requests if faults is not None else None
+        )
         for index, request in enumerate(requests):
             self.submit(request)
+            if crash_after is not None and index + 1 == crash_after:
+                self.power_loss()
             if progress is not None and index % 10000 == 0:
                 progress(index)
         pool_stats = None
@@ -215,7 +252,26 @@ class SimulatedSSD:
             writes=self.writes,
             horizon_us=self._horizon_us,
             pool_stats=pool_stats,
+            fault_stats=(
+                self.ftl.faults.stats.summary()
+                if self.ftl.faults is not None
+                else None
+            ),
         )
+
+    def power_loss(self):
+        """Inject a power-loss event *now*: volatile FTL state is gone and
+        the drive replays crash recovery (OOB scan) before servicing
+        anything else.  Returns the
+        :class:`~repro.faults.recovery.RecoveryReport`.
+        """
+        from ..faults.recovery import crash_and_recover
+
+        report = crash_and_recover(self.ftl, at_us=self._horizon_us)
+        # Nothing — host or GC — can start until the scan finishes.
+        self.timelines.stall_all(self._horizon_us + report.recovery_us)
+        self.recovery_reports.append(report)
+        return report
 
 
 def replay(

@@ -40,7 +40,7 @@ class TestTraceCache:
 
     def test_cached_trace_matches_direct_generation(self):
         profile = make_profile()
-        assert TraceCache().get(profile) == generate_trace(profile)
+        assert list(TraceCache().get(profile)) == generate_trace(profile)
 
     def test_seed_is_part_of_the_key(self):
         cache = TraceCache()

@@ -43,7 +43,7 @@ class TestTraceDeterminism:
 
     def test_cache_preserves_trace_content(self):
         profile = make_profile()
-        assert TraceCache().get(profile) == generate_trace(profile)
+        assert list(TraceCache().get(profile)) == generate_trace(profile)
 
 
 class TestRunDeterminism:

@@ -1,0 +1,117 @@
+"""Fault-layer determinism: seeded faults are bit-identical across jobs,
+fault-free runs are digest-identical to the pre-fault-layer build, and
+crash recovery reconstructs the exact pre-crash mapping.
+
+The ``GOLDEN`` digests below were minted on the commit *before* the fault
+layer and RunConfig redesign existed (same scale, same workloads).  They
+pin the hard compatibility contract of ISSUE 3: a run with
+``faults=None`` must hash byte-for-byte like a build without
+:mod:`repro.faults` at all.
+"""
+
+import pytest
+
+from repro.experiments import RunConfig
+from repro.experiments.runner import ExperimentContext, run_matrix, run_system
+from repro.faults import FaultConfig
+from repro.perf.spec import result_digest
+
+SCALE = 0.004
+WORKLOADS = ("web", "trans")
+SYSTEMS = ("baseline", "mq-dvp")
+
+#: Digests of fault-free runs recorded before repro.faults existed.
+GOLDEN = {
+    ("web", "baseline"): "c23c33db77812f500af4d3b4ac8e78b496d320b0635d33799007343d931e1b18",
+    ("web", "mq-dvp"): "63fc3747bfb4186582efafb9fe7e8ccb66b54f58bf991735c28a4a40df18b959",
+    ("web", "dedup"): "52bb4be4f5776ebf17e561a13d364a2f1b4fcac66152e8776c7423f35f80508a",
+    ("trans", "baseline"): "8da8b6741b0c9ce7b2563a38f2c996c3c1c086dd10bad7c79baf1652d53e9804",
+    ("trans", "mq-dvp"): "d8f8a4ccce8b00cacd3e99c46c60b733da49ffde61986391a039dc9a988ac04b",
+    ("trans", "dedup"): "902e2058cd42417fdfc6e9b4fbe058a65e0b249c2d2d623d5726d633c6a2708c",
+}
+
+FAULTS = FaultConfig(
+    seed=11,
+    program_failure_prob=0.005,
+    erase_failure_prob=0.01,
+    read_error_prob=0.02,
+)
+
+
+def _digests(results):
+    return {
+        (w, s): result_digest(results[w][s])
+        for w in results
+        for s in results[w]
+    }
+
+
+class TestFaultFreeCompatibility:
+    @pytest.mark.parametrize("workload,system", sorted(GOLDEN))
+    def test_disabled_faults_match_pre_fault_layer_digests(
+        self, workload, system
+    ):
+        context = ExperimentContext.for_workload(workload, SCALE)
+        result = run_system(system, context, config=RunConfig(scale=SCALE))
+        assert result.fault_stats is None
+        assert result_digest(result) == GOLDEN[(workload, system)]
+
+
+class TestFaultDeterminism:
+    def test_same_seed_same_digest_across_jobs(self):
+        cfg = RunConfig(scale=SCALE, faults=FAULTS)
+        serial = _digests(
+            run_matrix(WORKLOADS, SYSTEMS, config=cfg.replace(jobs=1))
+        )
+        parallel = _digests(
+            run_matrix(WORKLOADS, SYSTEMS, config=cfg.replace(jobs=8))
+        )
+        assert serial == parallel
+
+    def test_faults_actually_fired(self):
+        context = ExperimentContext.for_workload("web", SCALE)
+        result = run_system(
+            "mq-dvp", context, config=RunConfig(scale=SCALE, faults=FAULTS)
+        )
+        stats = result.fault_stats
+        assert stats is not None
+        assert stats["read_errors"] > 0
+
+    def test_different_seed_different_digest(self):
+        context = ExperimentContext.for_workload("web", SCALE)
+        a = run_system(
+            "mq-dvp", context, config=RunConfig(scale=SCALE, faults=FAULTS)
+        )
+        b = run_system(
+            "mq-dvp",
+            context,
+            config=RunConfig(scale=SCALE, faults=FAULTS.with_seed(12)),
+        )
+        assert result_digest(a) != result_digest(b)
+
+
+class TestCrashRecoveryDeterminism:
+    CRASH = FaultConfig(seed=0, crash_after_requests=1000)
+
+    def test_crash_run_recovers_and_is_reproducible(self):
+        context = ExperimentContext.for_workload("web", SCALE)
+        cfg = RunConfig(scale=SCALE, faults=self.CRASH)
+        # crash_and_recover verifies the rebuilt L2P against the pre-crash
+        # table internally and raises RecoveryError on any difference, so
+        # a completed run *is* the L2P-equality assertion.
+        first = run_system("mq-dvp", context, config=cfg)
+        second = run_system("mq-dvp", context, config=cfg)
+        assert first.fault_stats["crashes"] == 1
+        assert first.fault_stats["recoveries"] == 1
+        assert first.fault_stats["mean_recovery_us"] > 0
+        assert result_digest(first) == result_digest(second)
+
+    def test_crash_digest_stable_across_jobs(self):
+        cfg = RunConfig(scale=SCALE, faults=self.CRASH)
+        serial = _digests(
+            run_matrix(["web"], ["mq-dvp"], config=cfg.replace(jobs=1))
+        )
+        parallel = _digests(
+            run_matrix(["web"], ["mq-dvp"], config=cfg.replace(jobs=2))
+        )
+        assert serial == parallel

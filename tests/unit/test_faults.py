@@ -1,0 +1,264 @@
+"""Unit tests for repro.faults: config, seeded model, bad blocks, recovery."""
+
+import pytest
+
+from repro.core.dvp import MQDeadValuePool
+from repro.core.hashing import fingerprint_of_value as fp
+from repro.faults import (
+    FaultConfig,
+    FaultModel,
+    FaultStats,
+    RecoveryError,
+    crash_and_recover,
+    rebuild_mapping,
+)
+from repro.ftl.allocator import BadBlockManager
+from repro.ftl.dedup import DedupFTL
+from repro.ftl.ftl import BaseFTL
+
+
+class TestFaultConfig:
+    def test_defaults_inject_nothing(self):
+        assert not FaultConfig().enabled
+
+    @pytest.mark.parametrize(
+        "field", ["program_failure_prob", "erase_failure_prob", "read_error_prob"]
+    )
+    def test_probabilities_validated(self, field):
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: -0.1})
+        with pytest.raises(ValueError):
+            FaultConfig(**{field: 1.5})
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            FaultConfig(max_read_retries=0)
+        with pytest.raises(ValueError):
+            FaultConfig(max_program_retries=0)
+        with pytest.raises(ValueError):
+            FaultConfig(program_failure_retire_threshold=0)
+        with pytest.raises(ValueError):
+            FaultConfig(spare_block_fraction=1.0)
+        with pytest.raises(ValueError):
+            FaultConfig(crash_after_requests=0)
+
+    def test_enabled_per_category(self):
+        assert FaultConfig(program_failure_prob=0.1).enabled
+        assert FaultConfig(erase_failure_prob=0.1).enabled
+        assert FaultConfig(read_error_prob=0.1).enabled
+        assert FaultConfig(crash_after_requests=100).enabled
+
+    def test_with_seed_replaces_only_seed(self):
+        cfg = FaultConfig(program_failure_prob=0.25).with_seed(9)
+        assert cfg.seed == 9
+        assert cfg.program_failure_prob == 0.25
+
+    def test_frozen_and_picklable(self):
+        import pickle
+
+        cfg = FaultConfig(seed=3, read_error_prob=0.5)
+        with pytest.raises(Exception):
+            cfg.seed = 4  # type: ignore[misc]
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+
+class TestFaultModel:
+    def test_same_seed_same_sequence(self):
+        cfg = FaultConfig(seed=42, program_failure_prob=0.3)
+        a = FaultModel(cfg)
+        b = FaultModel(cfg)
+        assert [a.program_fails() for _ in range(200)] == [
+            b.program_fails() for _ in range(200)
+        ]
+
+    def test_streams_are_independent(self):
+        """Consulting one category must not perturb another's sequence."""
+        cfg = FaultConfig(
+            seed=7, program_failure_prob=0.3, read_error_prob=0.3
+        )
+        lone = FaultModel(cfg)
+        reads_alone = [lone.read_retry_rounds() for _ in range(100)]
+        mixed = FaultModel(cfg)
+        reads_mixed = []
+        for _ in range(100):
+            mixed.program_fails()  # interleave draws from another stream
+            reads_mixed.append(mixed.read_retry_rounds())
+        assert reads_alone == reads_mixed
+
+    def test_disabled_category_never_fires(self):
+        model = FaultModel(FaultConfig(seed=1))
+        assert not any(model.program_fails() for _ in range(50))
+        assert not any(model.erase_fails() for _ in range(50))
+        assert all(model.read_retry_rounds() == 0 for _ in range(50))
+        assert model.stats.summary()["program_failures"] == 0
+
+    def test_stats_count_events(self):
+        model = FaultModel(
+            FaultConfig(seed=5, read_error_prob=1.0, max_read_retries=3)
+        )
+        rounds = [model.read_retry_rounds() for _ in range(20)]
+        assert all(1 <= r <= 3 for r in rounds)
+        assert model.stats.read_errors == 20
+        assert model.stats.read_retries == sum(rounds)
+
+    def test_stats_summary_shape(self):
+        summary = FaultStats().summary()
+        assert summary["recoveries"] == 0
+        assert summary["mean_recovery_us"] == 0.0
+
+
+class TestBadBlockManager:
+    def _manager(self, spares=2, planes=4, blocks_per_plane=8):
+        return BadBlockManager(
+            FaultStats(),
+            spares_per_plane=spares,
+            retire_threshold=2,
+            plane_of_block=lambda b: b // blocks_per_plane,
+            planes=planes,
+        )
+
+    def test_budget_is_per_plane(self):
+        mgr = self._manager(spares=1, planes=2)
+        assert mgr.spare_blocks == 2
+        assert mgr.retire(0) is True       # plane 0, within share
+        assert mgr.exhausted is False
+        assert mgr.retire(1) is False      # plane 0 share spent
+        assert mgr.exhausted is True
+        # Plane 1's captive share cannot absorb plane 0's overdraw.
+        assert mgr.retired_in_plane(0) == 2
+        assert mgr.retired_in_plane(1) == 0
+
+    def test_spares_remaining_caps_per_plane(self):
+        mgr = self._manager(spares=1, planes=2)
+        mgr.retire(0)
+        mgr.retire(1)
+        mgr.retire(2)
+        # Plane 0 overspent but only its share counts as spent.
+        assert mgr.spares_remaining == 1
+
+    def test_remaps_counted_only_within_share(self):
+        mgr = self._manager(spares=1, planes=1)
+        mgr.retire(0)
+        mgr.retire(1)
+        assert mgr.stats.retired_blocks == 2
+        assert mgr.stats.remaps == 1
+
+    def test_program_failures_mark_at_threshold(self):
+        mgr = self._manager()
+        mgr.note_program_failure(3)
+        assert not mgr.marked_for_retirement(3)
+        mgr.note_program_failure(3)
+        assert mgr.marked_for_retirement(3)
+        assert mgr.should_retire(3, None)
+        assert not mgr.should_retire(4, None)
+
+    def test_erase_failure_triggers_retire(self):
+        mgr = self._manager()
+        model = FaultModel(FaultConfig(seed=0, erase_failure_prob=1.0))
+        assert mgr.should_retire(5, model)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BadBlockManager(
+                FaultStats(), -1, 2, lambda b: 0, 1
+            )
+        with pytest.raises(ValueError):
+            BadBlockManager(
+                FaultStats(), 1, 0, lambda b: 0, 1
+            )
+        with pytest.raises(ValueError):
+            BadBlockManager(
+                FaultStats(), 1, 2, lambda b: 0, 0
+            )
+
+
+class TestReadOnlyDegradation:
+    def test_read_only_rejects_writes(self, tiny_config):
+        ftl = BaseFTL(tiny_config)
+        ftl.attach_faults(FaultModel(FaultConfig(seed=0)))
+        ftl.write(0, fp(1))
+        ftl.enter_read_only()
+        outcome = ftl.write(1, fp(2))
+        assert outcome.rejected
+        assert outcome.program_ppn is None
+        assert ftl.faults.stats.rejected_writes == 1
+        assert ftl.counters.programs == 1  # only the pre-degradation write
+        # Reads keep working.
+        assert ftl.read(0).flash_read
+
+    def test_program_retries_on_failure(self, tiny_config):
+        ftl = BaseFTL(tiny_config)
+        cfg = FaultConfig(
+            seed=1, program_failure_prob=0.5, max_program_retries=8
+        )
+        ftl.attach_faults(FaultModel(cfg))
+        for lpn in range(32):
+            out = ftl.write(lpn, fp(lpn))
+            # Every non-rejected write still lands somewhere readable.
+            if not out.rejected:
+                assert ftl.mapping.lookup(lpn) == out.program_ppn
+        assert ftl.faults.stats.program_failures > 0
+
+    def test_spares_sized_per_plane(self, tiny_config):
+        ftl = BaseFTL(tiny_config)
+        ftl.attach_faults(
+            FaultModel(FaultConfig(seed=0, spare_block_fraction=0.02))
+        )
+        geometry = ftl.array.geometry
+        # 2% of 16 blocks rounds to 0; the floor of one spare per plane
+        # must apply.
+        assert ftl.badblocks.spares_per_plane == 1
+        assert ftl.badblocks.spare_blocks == geometry.total_planes
+
+
+class TestCrashRecovery:
+    def _populated(self, config, pool=None):
+        ftl = BaseFTL(config, pool=pool)
+        for lpn in range(40):
+            ftl.write(lpn, fp(lpn))
+        for lpn in range(0, 40, 3):       # updates create garbage
+            ftl.write(lpn, fp(lpn + 100))
+        for lpn in (1, 7):
+            ftl.trim(lpn)
+        return ftl
+
+    def test_rebuild_matches_live_mapping(self, tiny_config):
+        ftl = self._populated(tiny_config)
+        rebuilt = rebuild_mapping(ftl)
+        assert rebuilt.forward_items() == ftl.mapping.forward_items()
+
+    def test_crash_and_recover_is_lossless(self, tiny_config):
+        ftl = self._populated(
+            tiny_config, pool=MQDeadValuePool(64, num_queues=4)
+        )
+        ftl.attach_faults(FaultModel(FaultConfig(seed=0)))
+        before = dict(ftl.mapping.forward_items())
+        pool_tracked = ftl.pool.tracked_ppn_count()
+        report = crash_and_recover(ftl, at_us=123.0)
+        assert ftl.mapping.forward_items() == before
+        assert report.rebuilt_lpns == len(before)
+        assert report.dropped_pool_ppns == pool_tracked
+        assert report.recovery_us > 0
+        assert ftl.pool.tracked_ppn_count() == 0  # pool restarts cold
+        assert ftl.faults.stats.crashes == 1
+        assert ftl.faults.stats.recovery_count == 1
+        # The drive still works after recovery.
+        out = ftl.write(50, fp(999))
+        assert out.programmed
+        assert ftl.read(50).flash_read
+
+    def test_recovery_survives_gc_relocations(self, tiny_config):
+        ftl = BaseFTL(tiny_config)
+        # Enough churn to force GC relocations and erases.
+        for i in range(1500):
+            ftl.write(i % 64, fp(i))
+        assert ftl.counters.gc_erases > 0
+        assert rebuild_mapping(ftl).forward_items() == (
+            ftl.mapping.forward_items()
+        )
+
+    def test_dedup_ftl_refused(self, tiny_config):
+        ftl = DedupFTL(tiny_config)
+        ftl.write(0, fp(1))
+        with pytest.raises(RecoveryError):
+            crash_and_recover(ftl)

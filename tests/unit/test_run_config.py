@@ -1,0 +1,173 @@
+"""RunConfig API redesign: validation, legacy-kwarg deprecation, pool API."""
+
+import pickle
+
+import pytest
+
+from repro.core.adaptive import AdaptiveMQDeadValuePool
+from repro.core.dvp import (
+    DeadValuePool,
+    InfiniteDeadValuePool,
+    LBARecencyPool,
+    LRUDeadValuePool,
+    MQDeadValuePool,
+    pool_from_name,
+)
+from repro.experiments import RunConfig
+from repro.experiments.figures import EvaluationMatrix
+from repro.experiments.runner import (
+    ExperimentContext,
+    run_matrix,
+    run_system,
+)
+from repro.faults import FaultConfig
+from repro.obs import MetricRegistry
+from repro.perf.spec import RunSpec
+
+SCALE = 0.004
+
+
+@pytest.fixture(scope="module")
+def web_context():
+    return ExperimentContext.for_workload("web", SCALE)
+
+
+class TestRunConfig:
+    def test_defaults(self):
+        cfg = RunConfig()
+        assert cfg.paper_pool_entries == 200_000
+        assert cfg.jobs == 1
+        assert cfg.faults is None
+        assert cfg.reuse_prefill
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(paper_pool_entries=0)
+        with pytest.raises(ValueError):
+            RunConfig(scale=0)
+        with pytest.raises(ValueError):
+            RunConfig(queue_depth=0)
+        with pytest.raises(ValueError):
+            RunConfig(jobs=-1)
+        with pytest.raises(TypeError):
+            RunConfig(faults="nope")  # type: ignore[arg-type]
+
+    def test_replace_returns_new_frozen_copy(self):
+        cfg = RunConfig(scale=0.1)
+        other = cfg.replace(jobs=4)
+        assert other.jobs == 4
+        assert other.scale == 0.1
+        assert cfg.jobs == 1
+        with pytest.raises(Exception):
+            cfg.scale = 0.2  # type: ignore[misc]
+
+    def test_picklable_property_and_roundtrip(self):
+        cfg = RunConfig(faults=FaultConfig(seed=2, read_error_prob=0.1))
+        assert cfg.picklable
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+        assert not cfg.replace(registry=MetricRegistry()).picklable
+
+    def test_runspec_from_config_round_trip(self):
+        cfg = RunConfig(
+            paper_pool_entries=50_000,
+            scale=SCALE,
+            queue_depth=8,
+            faults=FaultConfig(seed=4),
+        )
+        spec = RunSpec.from_config("web", "baseline", cfg)
+        assert spec.paper_pool_entries == 50_000
+        assert spec.scale == SCALE
+        assert spec.queue_depth == 8
+        assert spec.faults == cfg.faults
+        back = spec.run_config()
+        assert back.paper_pool_entries == 50_000
+        assert back.faults == cfg.faults
+
+
+class TestLegacyKwargs:
+    def test_run_system_legacy_kwargs_warn(self, web_context):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            legacy = run_system(
+                "baseline", web_context, paper_pool_entries=100_000
+            )
+        modern = run_system(
+            "baseline",
+            web_context,
+            config=RunConfig(paper_pool_entries=100_000, scale=SCALE),
+        )
+        assert legacy.summary() == modern.summary()
+
+    def test_run_system_legacy_positional_scale(self, web_context):
+        # Old call shape: run_system(system, context, scale).
+        with pytest.warns(DeprecationWarning):
+            result = run_system("baseline", web_context, SCALE)
+        assert result.counters.host_writes > 0
+
+    def test_run_system_rejects_mixed_styles(self, web_context):
+        with pytest.raises(TypeError, match="legacy"):
+            run_system(
+                "baseline",
+                web_context,
+                config=RunConfig(scale=SCALE),
+                paper_pool_entries=100_000,
+            )
+
+    def test_run_matrix_legacy_scale_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            legacy = run_matrix(["web"], ["baseline"], scale=SCALE)
+        modern = run_matrix(
+            ["web"], ["baseline"], config=RunConfig(scale=SCALE)
+        )
+        assert (
+            legacy["web"]["baseline"].summary()
+            == modern["web"]["baseline"].summary()
+        )
+
+    def test_evaluation_matrix_legacy_scale_warns(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            matrix = EvaluationMatrix(scale=SCALE)
+        assert matrix.config.scale == SCALE
+
+    def test_evaluation_matrix_accepts_config_positionally(self):
+        matrix = EvaluationMatrix(RunConfig(scale=SCALE, jobs=2))
+        assert matrix.scale == SCALE
+        assert matrix.jobs == 2
+
+
+class TestTraceCacheSafety:
+    def test_cached_trace_is_a_tuple(self):
+        context = ExperimentContext.for_workload("web", SCALE)
+        assert isinstance(context.trace, tuple)
+        again = ExperimentContext.for_workload("web", SCALE)
+        assert again.trace is context.trace  # shared, so it must be immutable
+
+    def test_uncached_trace_is_private_and_mutable(self):
+        context = ExperimentContext.for_workload(
+            "web", SCALE, use_cache=False
+        )
+        assert isinstance(context.trace, list)
+        cached = ExperimentContext.for_workload("web", SCALE)
+        context.trace.reverse()  # must not poison the shared copy
+        assert ExperimentContext.for_workload("web", SCALE).trace is (
+            cached.trace
+        )
+
+
+class TestDeadValuePoolProtocol:
+    POOLS = {
+        "infinite": InfiniteDeadValuePool,
+        "lru": LRUDeadValuePool,
+        "mq": MQDeadValuePool,
+        "lba-recency": LBARecencyPool,
+        "adaptive": AdaptiveMQDeadValuePool,
+    }
+
+    @pytest.mark.parametrize("name", sorted(POOLS))
+    def test_factory_builds_conforming_pools(self, name):
+        pool = pool_from_name(name, entries=256)
+        assert isinstance(pool, self.POOLS[name])
+        assert isinstance(pool, DeadValuePool)
+
+    def test_factory_rejects_unknown_names(self):
+        with pytest.raises(ValueError, match="unknown pool"):
+            pool_from_name("bogus")
