@@ -1,25 +1,35 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint perf-smoke bench figures
+.PHONY: test lint check perf-smoke bench figures
 
-test: lint
+test: lint check
 	$(PYTHON) -m pytest -q
 
-# Static checks over the newest surfaces (the fault layer and the pool
-# Protocol).  Both tools are optional: environments without ruff/mypy
-# (e.g. the minimal CI image) skip them with a notice instead of failing.
+# Static checks over the newest surfaces (the fault layer, the pool
+# Protocol and the correctness harness).  Both tools are optional:
+# environments without ruff/mypy (e.g. the minimal CI image) skip them
+# with a notice instead of failing.
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src/repro/faults src/repro/core/dvp.py; \
+		ruff check src/repro/faults src/repro/check src/repro/core/dvp.py; \
 	else \
 		echo "lint: ruff not installed, skipping"; \
 	fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/faults src/repro/core/dvp.py; \
+		mypy src/repro/faults src/repro/check src/repro/core/dvp.py; \
 	else \
 		echo "lint: mypy not installed, skipping"; \
 	fi
+
+# The correctness harness under a tight time budget: seeded-corruption
+# detection, property fuzz (TRIM + faults + crash streams), and the
+# timeline-vs-DES differential replay.  Also part of the plain suite;
+# this target isolates it for quick iteration on FTL hot paths.
+check:
+	$(PYTHON) -m pytest -q tests/unit/test_check.py \
+		tests/property/test_check_fuzz.py \
+		tests/integration/test_differential.py
 
 # Tiny parallel-engine smoke: process-pool round trip, caches, bench
 # harness shape.  Part of the plain suite too; this target isolates it.

@@ -1,0 +1,160 @@
+"""Lockstep reference-model oracle for the data-integrity contract.
+
+A flash translation layer is, from the host's point of view, just a
+dictionary: ``lpn → last content written``.  Everything else — geometry,
+out-of-place updates, GC, dead-value revival, dedup pointers — is
+implementation.  :class:`OracleFTL` *is* that dictionary, maintained in
+lockstep with a production FTL by the :class:`~repro.check.invariants.
+InvariantChecker` hooks, and cross-checks after every host operation:
+
+* **reads** must return the content the oracle last stored at the LPN
+  (``oracle.read`` on divergence — data loss or stale data);
+* **revival and dedup decisions** must pick a physical page that actually
+  holds the written fingerprint (``oracle.revival`` / ``oracle.dedup`` —
+  a wrong revival silently serves another value's bytes);
+* **completed writes** must leave the LPN mapped to a page holding the
+  written fingerprint (``oracle.program``);
+* **trims** must leave the LPN unmapped (``oracle.trim``).
+
+One documented weakening: a *rejected* write (read-only degradation, or
+program retries exhausted) is allowed to either preserve the old copy
+(the early-reject path) or destroy it (the mid-flight failure path —
+the old copy was invalidated before the program failed, matching a real
+drive losing the update), so the oracle resynchronises that one LPN from
+the device instead of predicting the outcome.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.hashing import Fingerprint
+from .invariants import InvariantViolation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..ftl.ftl import BaseFTL, ReadOutcome, WriteOutcome
+
+__all__ = ["OracleFTL"]
+
+
+class OracleFTL:
+    """Geometry-free reference model: the host-visible LPN → content map."""
+
+    def __init__(self) -> None:
+        self._data: Dict[int, Fingerprint] = {}
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def value_at(self, lpn: int) -> Optional[Fingerprint]:
+        return self._data.get(lpn)
+
+    # ------------------------------------------------------------------
+
+    def sync_from(self, ftl: "BaseFTL") -> None:
+        """Adopt the device's current contents as the oracle baseline.
+
+        Called at attach time (checking usually starts on a preconditioned
+        drive, not a blank one).
+        """
+        fp_of = ftl._ppn_fp
+        self._data = {
+            lpn: fp_of[ppn]
+            for lpn, ppn in ftl.mapping.forward_items().items()
+            if ppn in fp_of
+        }
+
+    def _device_value(self, ftl: "BaseFTL", lpn: int) -> Optional[Fingerprint]:
+        ppn = ftl.mapping.lookup(lpn)
+        if ppn is None:
+            return None
+        return ftl._ppn_fp.get(ppn)
+
+    def _resync_lpn(self, ftl: "BaseFTL", lpn: int) -> None:
+        value = self._device_value(ftl, lpn)
+        if value is None:
+            self._data.pop(lpn, None)
+        else:
+            self._data[lpn] = value
+
+    # ------------------------------------------------------------------
+    # Lockstep observers (called by InvariantChecker)
+    # ------------------------------------------------------------------
+
+    def observe_write(
+        self, ftl: "BaseFTL", lpn: int, fp: Fingerprint, outcome: "WriteOutcome"
+    ) -> None:
+        if outcome.rejected:
+            # Rejected writes legitimately go either way (see module
+            # docstring); track whatever the device kept.
+            self._resync_lpn(ftl, lpn)
+            return
+        if outcome.short_circuited:
+            held = ftl._ppn_fp.get(outcome.revived_ppn)
+            if held != fp:
+                raise InvariantViolation(
+                    "oracle.revival",
+                    f"revived PPN {outcome.revived_ppn} holds different "
+                    f"content than the write",
+                    {"lpn": lpn, "written_fp": fp, "page_fp": held},
+                )
+        if outcome.dedup_hit:
+            ppn = ftl.mapping.lookup(lpn)
+            held = ftl._ppn_fp.get(ppn) if ppn is not None else None
+            if held != fp:
+                raise InvariantViolation(
+                    "oracle.dedup",
+                    f"dedup hit pointed LPN {lpn} at a page holding "
+                    f"different content",
+                    {"lpn": lpn, "written_fp": fp, "page_fp": held,
+                     "ppn": ppn},
+                )
+        self._data[lpn] = fp
+        stored = self._device_value(ftl, lpn)
+        if stored != fp:
+            raise InvariantViolation(
+                "oracle.program",
+                f"completed write left LPN {lpn} holding the wrong content",
+                {"lpn": lpn, "written_fp": fp, "stored_fp": stored,
+                 "mapped_ppn": ftl.mapping.lookup(lpn)},
+            )
+
+    def observe_read(
+        self, ftl: "BaseFTL", lpn: int, outcome: "ReadOutcome"
+    ) -> None:
+        expected = self._data.get(lpn)
+        if expected is None:
+            if outcome.ppn is not None:
+                raise InvariantViolation(
+                    "oracle.read",
+                    f"read of never-written/trimmed LPN {lpn} returned "
+                    f"flash data instead of the zero page",
+                    {"lpn": lpn, "ppn": outcome.ppn},
+                )
+            return
+        if outcome.ppn is None:
+            raise InvariantViolation(
+                "oracle.read",
+                f"read of LPN {lpn} found no mapping — the device lost "
+                f"written data",
+                {"lpn": lpn, "expected_fp": expected},
+            )
+        held = ftl._ppn_fp.get(outcome.ppn)
+        if held != expected:
+            raise InvariantViolation(
+                "oracle.read",
+                f"read of LPN {lpn} returned different content than the "
+                f"last write stored",
+                {"lpn": lpn, "ppn": outcome.ppn,
+                 "expected_fp": expected, "page_fp": held},
+            )
+
+    def observe_trim(self, ftl: "BaseFTL", lpn: int) -> None:
+        self._data.pop(lpn, None)
+        ppn = ftl.mapping.lookup(lpn)
+        if ppn is not None:
+            raise InvariantViolation(
+                "oracle.trim",
+                f"trimmed LPN {lpn} is still mapped",
+                {"lpn": lpn, "ppn": ppn},
+            )

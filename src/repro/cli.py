@@ -93,6 +93,37 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default 1 = serial, 0 = all cores)",
         )
 
+    def add_check(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--check", action="store_true",
+            help="run the correctness harness in lockstep: full invariant "
+                 "audits plus the dict-based oracle FTL cross-checking "
+                 "every read, revival and trim (see DESIGN.md)",
+        )
+        p.add_argument(
+            "--check-interval", type=int, default=None, metavar="N",
+            help="events between full invariant audits (implies --check; "
+                 "default 1000)",
+        )
+        p.add_argument(
+            "--trim-every", type=int, default=0, metavar="N",
+            help="inject a TRIM after every Nth write (0 = none); "
+                 "changes the trace, so results differ from the "
+                 "untrimmed run by construction",
+        )
+
+    def add_fault_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--seed", type=int, default=0,
+                       help="fault-stream seed (default 0)")
+        p.add_argument("--program-failure-prob", type=float, default=0.0,
+                       metavar="P", help="per-program failure probability")
+        p.add_argument("--erase-failure-prob", type=float, default=0.0,
+                       metavar="P", help="per-erase failure probability")
+        p.add_argument("--read-error-prob", type=float, default=0.0,
+                       metavar="P", help="per-read ECC-retry probability")
+        p.add_argument("--crash-after", type=int, default=None, metavar="N",
+                       help="power loss after N serviced host requests")
+
     run_p = sub.add_parser("run", help="simulate one system on one workload")
     run_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
     run_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
@@ -116,6 +147,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="trace wall-clock spans (FTL write/read, GC) and print them",
     )
+    add_check(run_p)
+    add_fault_flags(run_p)
     add_common(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare systems on one workload")
@@ -125,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated system names (first is the reference)",
     )
     cmp_p.add_argument("--pool", type=int, default=200_000)
+    add_check(cmp_p)
     add_common(cmp_p)
     add_jobs(cmp_p)
 
@@ -183,16 +217,8 @@ def build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
     flt_p.add_argument("--pool", type=int, default=200_000,
                        help="pool size in paper-label entries (default 200K)")
-    flt_p.add_argument("--seed", type=int, default=0,
-                       help="fault-stream seed (default 0)")
-    flt_p.add_argument("--program-failure-prob", type=float, default=0.0,
-                       metavar="P", help="per-program failure probability")
-    flt_p.add_argument("--erase-failure-prob", type=float, default=0.0,
-                       metavar="P", help="per-erase failure probability")
-    flt_p.add_argument("--read-error-prob", type=float, default=0.0,
-                       metavar="P", help="per-read ECC-retry probability")
-    flt_p.add_argument("--crash-after", type=int, default=None, metavar="N",
-                       help="power loss after N serviced host requests")
+    add_fault_flags(flt_p)
+    add_check(flt_p)
     flt_p.add_argument(
         "--recovery", action="store_true",
         help="run the crash-recovery warmup experiment instead "
@@ -234,8 +260,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_kwargs(args: argparse.Namespace) -> dict:
+    """RunConfig kwargs from the shared ``--check`` flag group.
+
+    ``--check`` (or an explicit ``--check-interval``) turns on both the
+    invariant audits and the lockstep oracle; ``--trim-every`` passes
+    through unconditionally since it is a trace transform, not a check.
+    """
+    kwargs: dict = {"trim_every": args.trim_every}
+    if args.check or args.check_interval is not None:
+        kwargs["oracle"] = True
+        kwargs["check_interval"] = args.check_interval
+    return kwargs
+
+
+def _fault_config_or_none(args: argparse.Namespace):
+    """A FaultConfig when any fault flag was actually used, else None.
+
+    ``run`` must stay digest-identical to older builds when no fault
+    flag is given, so (unlike ``faults``, which always attaches the
+    fault model) an all-default flag set yields the perfect device.
+    """
+    if (
+        args.program_failure_prob == 0.0
+        and args.erase_failure_prob == 0.0
+        and args.read_error_prob == 0.0
+        and args.crash_after is None
+    ):
+        return None
+    from .faults import FaultConfig
+
+    return FaultConfig(
+        seed=args.seed,
+        program_failure_prob=args.program_failure_prob,
+        erase_failure_prob=args.erase_failure_prob,
+        read_error_prob=args.read_error_prob,
+        crash_after_requests=args.crash_after,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     context = ExperimentContext.for_workload(args.workload, args.scale)
+    try:
+        fault_config = _fault_config_or_none(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     observer = writer = registry = tracer = None
     if args.obs:
         from .obs import JsonlWriter, MetricRegistry, TimeSeriesSampler
@@ -268,6 +338,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             config=RunConfig(
                 paper_pool_entries=args.pool, scale=args.scale,
                 observer=observer, registry=registry, tracer=tracer,
+                faults=fault_config, **_check_kwargs(args),
             ),
         )
     finally:
@@ -307,12 +378,16 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown systems: {', '.join(unknown)}", file=sys.stderr)
         return 2
+    check = _check_kwargs(args)
     specs = [
         RunSpec(
             workload=args.workload,
             system=system,
             paper_pool_entries=args.pool,
             scale=args.scale,
+            check_interval=check.get("check_interval"),
+            oracle=check.get("oracle", False),
+            trim_every=check["trim_every"],
         )
         for system in systems
     ]
@@ -516,7 +591,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         args.system, context,
         config=RunConfig(
             paper_pool_entries=args.pool, scale=args.scale,
-            faults=fault_config,
+            faults=fault_config, **_check_kwargs(args),
         ),
     )
     summary = dict(result.summary())

@@ -29,7 +29,16 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, runtime_checkable
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
 
 from .hashing import Fingerprint
 from .mq import MultiQueue
@@ -109,6 +118,16 @@ class DeadValuePool(Protocol):
 
     def tracked_ppn_count(self) -> int:
         """Total garbage PPNs tracked (for memory accounting in reports)."""
+        ...
+
+    def tracked_items(self) -> Iterator[Tuple[Fingerprint, int]]:
+        """Yield every ``(fingerprint, ppn)`` pair currently tracked.
+
+        The invariant checker (:mod:`repro.check`) cross-audits this
+        against the flash array and the FTL's popularity bookkeeping.
+        Order is unspecified; the pool must not be mutated while
+        iterating.
+        """
         ...
 
     def __len__(self) -> int:
@@ -238,6 +257,10 @@ class PoolBase(ABC):
         """Total garbage PPNs tracked (for memory accounting in reports)."""
         raise NotImplementedError
 
+    def tracked_items(self) -> Iterator[Tuple[Fingerprint, int]]:
+        """Yield every ``(fingerprint, ppn)`` pair currently tracked."""
+        raise NotImplementedError
+
 
 def _take_ppn(entry: _PoolEntry) -> int:
     """Pop the most recently deceased PPN (LIFO keeps the freshest copy)."""
@@ -297,6 +320,11 @@ class InfiniteDeadValuePool(PoolBase):
 
     def tracked_ppn_count(self) -> int:
         return sum(len(e.ppns) for e in self._entries.values())
+
+    def tracked_items(self) -> Iterator[Tuple[Fingerprint, int]]:
+        for fp, entry in self._entries.items():
+            for ppn in entry.ppns:
+                yield fp, ppn
 
 
 class LRUDeadValuePool(PoolBase):
@@ -371,6 +399,11 @@ class LRUDeadValuePool(PoolBase):
 
     def tracked_ppn_count(self) -> int:
         return sum(len(e.ppns) for _, e in self._cache.items_lru_to_mru())
+
+    def tracked_items(self) -> Iterator[Tuple[Fingerprint, int]]:
+        for fp, entry in self._cache.items_lru_to_mru():
+            for ppn in entry.ppns:
+                yield fp, ppn
 
 
 class MQDeadValuePool(PoolBase):
@@ -481,6 +514,12 @@ class MQDeadValuePool(PoolBase):
             for key in self._mq.keys_in_queue(index):
                 total += len(self._mq.get(key).ppns)
         return total
+
+    def tracked_items(self) -> Iterator[Tuple[Fingerprint, int]]:
+        for index in range(self._mq.num_queues):
+            for key in self._mq.keys_in_queue(index):
+                for ppn in self._mq.get(key).ppns:
+                    yield key, ppn
 
 
 @dataclass
@@ -610,6 +649,10 @@ class LBARecencyPool(PoolBase):
 
     def tracked_ppn_count(self) -> int:
         return len(self._by_lpn)
+
+    def tracked_items(self) -> Iterator[Tuple[Fingerprint, int]]:
+        for entry in self._by_lpn.values():
+            yield entry.fp, entry.ppn
 
 
 #: Pool registry names accepted by :func:`pool_from_name`.

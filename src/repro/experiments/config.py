@@ -68,6 +68,23 @@ class RunConfig:
         device.  The fault model attaches *after* preconditioning, so the
         prefill snapshot cache stays fault-free and a ``faults=None`` run
         is digest-identical to one from a build without the fault layer.
+    check_interval:
+        Events between full :class:`~repro.check.InvariantChecker` audits
+        (``None`` disables checking entirely — the default; checking reads
+        but never mutates FTL state, so enabling it leaves result digests
+        unchanged).
+    oracle:
+        Also run the lockstep :class:`~repro.check.OracleFTL`, cross-
+        checking every read result, revival decision and trim against a
+        dict-based reference model.  Implies checking even when
+        ``check_interval`` is ``None`` (the default audit cadence is
+        used).
+    trim_every:
+        Inject a TRIM after every Nth write of the trace (``0`` = none),
+        via :func:`~repro.traces.transforms.with_trims`.  Exercises the
+        discard/revival/recovery paths the synthetic profiles never
+        touch; note this *changes the trace*, so digests differ from the
+        untrimmed run by construction.
     """
 
     paper_pool_entries: int = 200_000
@@ -79,6 +96,9 @@ class RunConfig:
     reuse_prefill: bool = True
     jobs: int = 1
     faults: Optional[FaultConfig] = None
+    check_interval: Optional[int] = None
+    oracle: bool = False
+    trim_every: int = 0
 
     def __post_init__(self) -> None:
         if self.paper_pool_entries <= 0:
@@ -91,11 +111,20 @@ class RunConfig:
             raise ValueError("jobs must be >= 0 (0 = all cores)")
         if self.faults is not None and not isinstance(self.faults, FaultConfig):
             raise TypeError("faults must be a FaultConfig or None")
+        if self.check_interval is not None and self.check_interval <= 0:
+            raise ValueError("check_interval must be positive when set")
+        if self.trim_every < 0:
+            raise ValueError("trim_every must be non-negative (0 = no trims)")
 
     def replace(self, **changes: object) -> "RunConfig":
         """A copy with ``changes`` applied (the dataclasses idiom, bound
         as a method so call sites need no extra import)."""
         return dataclasses.replace(self, **changes)
+
+    @property
+    def checking(self) -> bool:
+        """Whether this run attaches an invariant checker (either knob)."""
+        return self.check_interval is not None or self.oracle
 
     @property
     def picklable(self) -> bool:

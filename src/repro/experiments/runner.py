@@ -248,11 +248,31 @@ def run_system(
         ftl.attach_faults(FaultModel(cfg.faults))
     if cfg.registry is not None or cfg.tracer is not None:
         ftl.attach_observability(registry=cfg.registry, tracer=cfg.tracer)
+    if cfg.checking:
+        # Attached after preconditioning (like faults/observability) so the
+        # prefill cache stays checker-free and the audited baseline is the
+        # preconditioned drive.  Checking never mutates FTL state, so the
+        # run's digest is identical with or without it.
+        from ..check import InvariantChecker, OracleFTL
+
+        ftl.attach_checker(InvariantChecker(
+            interval=(
+                cfg.check_interval
+                if cfg.check_interval is not None
+                else InvariantChecker.DEFAULT_INTERVAL
+            ),
+            oracle=OracleFTL() if cfg.oracle else None,
+        ))
+    trace = context.trace
+    if cfg.trim_every:
+        from ..traces.transforms import with_trims
+
+        trace = with_trims(trace, cfg.trim_every)
     device = SimulatedSSD(
         ftl, queue_depth=cfg.queue_depth, observer=cfg.observer
     )
     result = device.run(
-        context.trace, system=system, workload=context.profile.name
+        trace, system=system, workload=context.profile.name
     )
     if cfg.observer is not None:
         cfg.observer.force_sample(device.horizon_us)

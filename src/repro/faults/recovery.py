@@ -73,7 +73,13 @@ def rebuild_mapping(ftl: "BaseFTL") -> MappingTable:
     state_of = ftl.array.state_of
     for lpn in sorted(best):
         ppn, seq = best[lpn]
-        if trims.get(lpn, -1) > seq:
+        # Trim wins ties.  ``_oob_seq`` is a single monotonic clock shared
+        # by page records and trim records, so equal sequence numbers are
+        # unreachable on a well-formed journal — but if a malformed journal
+        # ever produced one, dropping the copy (treating it as trimmed) is
+        # the fail-safe direction: resurrecting possibly-discarded data is
+        # the dangerous mistake, reporting an LPN unmapped is not.
+        if trims.get(lpn, -1) >= seq:
             continue
         if state_of(ppn) is not PageState.VALID:
             continue

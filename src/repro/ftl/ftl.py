@@ -181,6 +181,10 @@ class BaseFTL:
         #: sets it.  ``None`` keeps the hot path branch-predictable.
         self.tracer = None
         self._registry = None
+        #: Optional :class:`~repro.check.InvariantChecker`
+        #: (``attach_checker`` sets it).  ``None`` keeps the hot paths to
+        #: one identity check per operation.
+        self.checker = None
         #: Fault layer (``attach_faults`` sets these).  ``None`` keeps the
         #: fault-free path to one identity check per operation.
         self.faults: Optional["FaultModel"] = None
@@ -310,6 +314,23 @@ class BaseFTL:
         self.read_only = True
 
     # ------------------------------------------------------------------
+    # Correctness tooling (repro.check)
+    # ------------------------------------------------------------------
+
+    def attach_checker(self, checker) -> "BaseFTL":
+        """Arm an :class:`~repro.check.InvariantChecker` on a live FTL.
+
+        Like ``attach_faults``/``attach_observability``, safe to call
+        after preconditioning: the checker (and its oracle, if any)
+        adopts the current state as the audited baseline.  Returns
+        ``self`` for chaining.
+        """
+        self.checker = checker
+        self.gc.checker = checker
+        checker.on_attach(self)
+        return self
+
+    # ------------------------------------------------------------------
     # Host operations
     # ------------------------------------------------------------------
 
@@ -329,11 +350,16 @@ class BaseFTL:
             # any state (the old copy at ``lpn`` survives).
             if self.faults is not None:
                 self.faults.stats.rejected_writes += 1
-            return WriteOutcome(lpn=lpn, rejected=True)
+            outcome = WriteOutcome(lpn=lpn, rejected=True)
+            if self.checker is not None:
+                self.checker.after_write(self, lpn, fp, outcome)
+            return outcome
         popularity = self._bump_write_popularity(fp)
         self.mapping.set_popularity(lpn, popularity)
         outcome = WriteOutcome(lpn=lpn, hashed=self.content_aware)
         self._handle_write(lpn, fp, outcome)
+        if self.checker is not None:
+            self.checker.after_write(self, lpn, fp, outcome)
         return outcome
 
     def _handle_write(
@@ -376,6 +402,8 @@ class BaseFTL:
         # from its (still newest) dead copy.
         self._oob_seq += 1
         self._oob_trims[lpn] = self._oob_seq
+        if self.checker is not None:
+            self.checker.after_trim(self, lpn)
 
     def read(self, lpn: int) -> ReadOutcome:
         """Service one 4KB host read."""
@@ -395,7 +423,10 @@ class BaseFTL:
                 if fp is not None:
                     count = self._read_popularity.get(fp, 0) + 1
                     self._read_popularity[fp] = min(count, POPULARITY_MAX)
-        return ReadOutcome(lpn=lpn, ppn=ppn)
+        outcome = ReadOutcome(lpn=lpn, ppn=ppn)
+        if self.checker is not None:
+            self.checker.after_read(self, lpn, outcome)
+        return outcome
 
     # ------------------------------------------------------------------
     # Write-path mechanics

@@ -179,6 +179,9 @@ class GarbageCollector:
         #: Optional :class:`~repro.obs.Tracer` wrapping collection passes
         #: in a ``gc.collect`` span (set via ``BaseFTL.attach_observability``).
         self.tracer = None
+        #: Optional :class:`~repro.check.InvariantChecker` postcondition
+        #: hook (set via ``BaseFTL.attach_checker``).
+        self.checker = None
 
     # ------------------------------------------------------------------
 
@@ -226,6 +229,8 @@ class GarbageCollector:
                 self._collect_to_watermark(plane, work)
         else:
             self._collect_to_watermark(plane, work)
+        if self.checker is not None:
+            self.checker.after_gc(self.delegate, plane, work)
         return work
 
     def _collect_to_watermark(self, plane: int, work: GCWork) -> None:
@@ -286,6 +291,8 @@ class GarbageCollector:
         )
         if victim is not None:
             work.merge(self._collect_block(victim, plane))
+        if self.checker is not None:
+            self.checker.after_gc(self.delegate, plane, work)
         return work
 
     def _collect_block(self, victim: int, plane: int) -> GCWork:

@@ -41,6 +41,15 @@ class WearTracker:
             raise ValueError("guard_margin must be non-negative")
         self.array = array
         self.guard_margin = guard_margin
+        # Cached drive-mean erase count for the levelling guard.  The
+        # guard runs once per GC candidate, so recomputing the mean for
+        # every candidate of every collection pass added up; the mean
+        # only changes on erase, so recompute lazily when total_erases
+        # moved.  The cached value is the *identical* float division,
+        # keeping victim choices bit-for-bit unchanged.
+        self._num_blocks = len(array.blocks)
+        self._known_total = 0
+        self._mean = 0.0
 
     def stats(self) -> WearStats:
         counts = [b.erase_count for b in self.array.blocks]
@@ -63,5 +72,8 @@ class WearTracker:
         guard only shapes preference, never correctness.
         """
         block = self.array.block(block_global)
-        mean = self.array.total_erases / len(self.array.blocks)
-        return block.erase_count <= mean + self.guard_margin
+        total = self.array.total_erases
+        if total != self._known_total:
+            self._known_total = total
+            self._mean = total / self._num_blocks
+        return block.erase_count <= self._mean + self.guard_margin

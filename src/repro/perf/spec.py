@@ -51,6 +51,9 @@ class RunSpec:
     seed: Optional[int] = None
     queue_depth: Optional[int] = None
     faults: Optional[FaultConfig] = None
+    check_interval: Optional[int] = None
+    oracle: bool = False
+    trim_every: int = 0
 
     @classmethod
     def from_config(
@@ -75,6 +78,9 @@ class RunSpec:
             seed=seed,
             queue_depth=config.queue_depth,
             faults=config.faults,
+            check_interval=config.check_interval,
+            oracle=config.oracle,
+            trim_every=config.trim_every,
         )
 
     def run_config(self, reuse_prefill: bool = True) -> RunConfig:
@@ -85,6 +91,9 @@ class RunSpec:
             queue_depth=self.queue_depth,
             reuse_prefill=reuse_prefill,
             faults=self.faults,
+            check_interval=self.check_interval,
+            oracle=self.oracle,
+            trim_every=self.trim_every,
         )
 
     def profile(self) -> WorkloadProfile:

@@ -23,6 +23,7 @@ __all__ = [
     "take",
     "filter_ops",
     "shift_lpns",
+    "with_trims",
     "merge_traces",
     "interleave_tenants",
 ]
@@ -99,6 +100,39 @@ def shift_lpns(
             lpn=lpn,
             value_id=request.value_id,
         )
+
+
+def with_trims(
+    trace: Iterable[IORequest], every_writes: int
+) -> List[IORequest]:
+    """Inject a TRIM after every ``every_writes``-th write, discarding
+    that write's LPN at the same arrival time.
+
+    The synthetic profiles never emit TRIM (the paper does not evaluate
+    it), but the FTL's trim path — discard journalling, revivable-garbage
+    creation, crash-recovery ordering — needs traffic to be exercised at
+    all.  Trimming an address immediately after writing it is the
+    workload's worst case for those paths: every injected TRIM kills a
+    just-written page and journals a discard that recovery must order
+    against the preceding write.  Arrival times of the original requests
+    are untouched, so the remaining stream keeps its timing shape.
+    """
+    if every_writes <= 0:
+        raise ValueError("every_writes must be positive")
+    out: List[IORequest] = []
+    writes = 0
+    for request in trace:
+        out.append(request)
+        if request.op is OpType.WRITE:
+            writes += 1
+            if writes % every_writes == 0:
+                out.append(IORequest(
+                    arrival_us=request.arrival_us,
+                    op=OpType.TRIM,
+                    lpn=request.lpn,
+                    value_id=0,
+                ))
+    return out
 
 
 def merge_traces(

@@ -1,0 +1,79 @@
+"""Integration tests for the timeline-vs-DES differential harness."""
+
+import pytest
+
+from repro.check import DifferentialMismatch, differential_run
+from repro.experiments.config import RunConfig
+from repro.faults.model import FaultConfig
+
+SCALE = 0.008
+
+
+class TestPromisedEquivalence:
+    @pytest.mark.parametrize("system", ["baseline", "mq-dvp", "dedup"])
+    def test_models_agree_fault_free(self, system):
+        report = differential_run(
+            "web", system, config=RunConfig(scale=SCALE)
+        )
+        assert report.ok, report.verify()
+        assert report.requests > 0
+
+    def test_agreement_holds_with_trims(self):
+        report = differential_run(
+            "mail", "mq-dvp",
+            config=RunConfig(scale=SCALE, trim_every=11),
+        )
+        report.verify()
+
+    def test_agreement_holds_under_full_checking(self):
+        """Sanitizer + oracle + differential in one replay: the checked
+        runs must agree exactly like the unchecked ones (checking reads
+        but never mutates)."""
+        checked = differential_run(
+            "web", "mq-dvp",
+            config=RunConfig(scale=SCALE, check_interval=250, oracle=True),
+        ).verify()
+        plain = differential_run(
+            "web", "mq-dvp", config=RunConfig(scale=SCALE)
+        ).verify()
+        assert checked.requests == plain.requests
+
+
+class TestEnvelopeRejection:
+    def test_faulted_config_rejected(self):
+        with pytest.raises(ValueError, match="fault-free"):
+            differential_run(
+                "web", "baseline",
+                config=RunConfig(
+                    scale=SCALE,
+                    faults=FaultConfig(seed=1, program_failure_prob=0.01),
+                ),
+            )
+
+    def test_queue_depth_rejected(self):
+        with pytest.raises(ValueError, match="open-loop"):
+            differential_run(
+                "web", "baseline",
+                config=RunConfig(scale=SCALE, queue_depth=8),
+            )
+
+
+class TestReportMechanics:
+    def test_mismatch_report_raises_with_detail(self):
+        from repro.check import DifferentialReport
+
+        report = DifferentialReport(
+            workload="web", system="baseline", requests=10,
+            counter_mismatches={"programs": (5, 6)},
+        )
+        assert not report.ok
+        with pytest.raises(DifferentialMismatch, match="programs"):
+            report.verify()
+
+    def test_clean_report_verifies_to_itself(self):
+        from repro.check import DifferentialReport
+
+        report = DifferentialReport(
+            workload="web", system="baseline", requests=10,
+        )
+        assert report.verify() is report

@@ -112,3 +112,50 @@ class TestReportCommand:
         assert "Figure 9" in text
         assert "Paper vs measured" in text
         assert "wrote" in capsys.readouterr().out
+
+
+class TestCheckFlags:
+    def test_check_flags_parse(self):
+        args = build_parser().parse_args([
+            "run", "--workload", "mail", "--system", "mq-dvp",
+            "--check", "--check-interval", "250", "--trim-every", "5",
+            "--program-failure-prob", "0.01", "--seed", "7",
+        ])
+        assert args.check
+        assert args.check_interval == 250
+        assert args.trim_every == 5
+        assert args.program_failure_prob == 0.01
+
+    def test_run_with_check_and_trims(self, capsys):
+        assert main([
+            "run", "--workload", "mail", "--system", "mq-dvp",
+            "--scale", "0.004", "--check", "--trim-every", "9", "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["host_writes"] > 0
+
+    def test_faults_with_check(self, capsys):
+        assert main([
+            "faults", "--workload", "mail", "--system", "mq-dvp",
+            "--scale", "0.004", "--check", "--trim-every", "9",
+            "--program-failure-prob", "0.01", "--seed", "3", "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert "fault.program_failures" in summary
+
+    def test_compare_accepts_check(self, capsys):
+        assert main([
+            "compare", "--workload", "mail",
+            "--systems", "baseline,mq-dvp",
+            "--scale", "0.004", "--check",
+        ]) == 0
+        assert "mq-dvp" in capsys.readouterr().out
+
+    def test_run_without_fault_flags_builds_no_fault_model(self, capsys):
+        """A plain run must stay on the perfect device (no fault stats)."""
+        assert main([
+            "run", "--workload", "mail", "--system", "baseline",
+            "--scale", "0.004", "--json",
+        ]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert not any(key.startswith("fault.") for key in summary)

@@ -171,3 +171,36 @@ class TestDeadValuePoolProtocol:
     def test_factory_rejects_unknown_names(self):
         with pytest.raises(ValueError, match="unknown pool"):
             pool_from_name("bogus")
+
+
+class TestCheckingConfig:
+    def test_checking_property(self):
+        assert not RunConfig().checking
+        assert RunConfig(check_interval=100).checking
+        assert RunConfig(oracle=True).checking
+        assert RunConfig(check_interval=100, oracle=True).checking
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunConfig(check_interval=0)
+        with pytest.raises(ValueError):
+            RunConfig(check_interval=-5)
+        with pytest.raises(ValueError):
+            RunConfig(trim_every=-1)
+
+    def test_runspec_round_trips_check_fields(self):
+        from repro.perf.spec import RunSpec
+
+        config = RunConfig(check_interval=500, oracle=True, trim_every=7)
+        spec = RunSpec.from_config("web", "mq-dvp", config)
+        back = spec.run_config()
+        assert back.check_interval == 500
+        assert back.oracle is True
+        assert back.trim_every == 7
+
+    def test_checked_config_is_picklable(self):
+        import pickle
+
+        config = RunConfig(check_interval=500, oracle=True, trim_every=7)
+        assert config.picklable
+        assert pickle.loads(pickle.dumps(config)) == config

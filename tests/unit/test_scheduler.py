@@ -46,3 +46,43 @@ class TestLimitedDepth:
         for finish in (10.0, 20.0, 30.0):
             queue.register(finish)
         assert queue.max_observed == 3
+
+
+class TestInFlightPruning:
+    """Regression: ``in_flight`` used to scan the whole heap on every
+    call; it now prunes retired completions instead.  The boundary must
+    match ``admit``: a completion exactly at the poll time is retired."""
+
+    def test_boundary_completion_not_in_flight(self):
+        queue = HostQueue(depth=4)
+        queue.register(100.0)
+        queue.register(200.0)
+        # Exactly at a completion time: that request has finished.
+        assert queue.in_flight(100.0) == 1
+        assert queue.in_flight(200.0) == 0
+
+    def test_pruning_keeps_future_completions(self):
+        queue = HostQueue(depth=8)
+        for finish in (10.0, 20.0, 30.0, 40.0):
+            queue.register(finish)
+        assert queue.in_flight(5.0) == 4
+        assert queue.in_flight(25.0) == 2
+        # Monotonic re-poll after pruning still sees the survivors.
+        assert queue.in_flight(25.0) == 2
+        assert queue.in_flight(39.999) == 1
+        assert queue.in_flight(40.0) == 0
+
+    def test_pruning_agrees_with_admit(self):
+        queue = HostQueue(depth=2)
+        queue.register(50.0)
+        queue.register(60.0)
+        # in_flight pruned nothing relevant; admit at the same instant
+        # sees the identical queue state (full -> waits for 50.0).
+        assert queue.in_flight(40.0) == 2
+        assert queue.admit(40.0) == 50.0
+
+    def test_equal_timestamps_all_retired(self):
+        queue = HostQueue(depth=4)
+        for _ in range(3):
+            queue.register(70.0)
+        assert queue.in_flight(70.0) == 0

@@ -11,6 +11,7 @@ from repro.traces.transforms import (
     shift_lpns,
     take,
     window,
+    with_trims,
 )
 
 
@@ -153,3 +154,33 @@ class TestTransformsFeedTheSimulator:
             BaseFTL(tiny_config), list(scale_time(base, 0.05))
         )
         assert compressed.mean_latency_us >= relaxed.mean_latency_us
+
+
+class TestWithTrims:
+    def test_trims_follow_every_nth_write(self):
+        out = with_trims(TRACE, 2)
+        # Writes at index 0, 2, 3; the 2nd write (lpn 1) gets a TRIM.
+        ops = [(req.op, req.lpn) for req in out]
+        assert ops == [
+            (OpType.WRITE, 0), (OpType.READ, 0),
+            (OpType.WRITE, 1), (OpType.TRIM, 1),
+            (OpType.WRITE, 2),
+        ]
+
+    def test_trim_shares_arrival_time(self):
+        out = with_trims(TRACE, 2)
+        trim = next(req for req in out if req.op is OpType.TRIM)
+        assert trim.arrival_us == 20.0
+
+    def test_every_write_trimmed(self):
+        out = with_trims(TRACE, 1)
+        trims = [req for req in out if req.op is OpType.TRIM]
+        assert [t.lpn for t in trims] == [0, 1, 2]
+
+    def test_reads_do_not_count(self):
+        out = with_trims([r(0.0, 5), r(1.0, 6)], 1)
+        assert all(req.op is OpType.READ for req in out)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            with_trims(TRACE, 0)

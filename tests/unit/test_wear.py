@@ -58,3 +58,49 @@ class TestWearGuard:
     def test_negative_margin_rejected(self, tiny_config):
         with pytest.raises(ValueError):
             WearTracker(FlashArray(tiny_config), guard_margin=-1)
+
+
+class TestCachedMeanGuard:
+    """Regression: ``allows_erase`` used to recompute the drive-mean
+    erase count for every candidate; it now caches the mean keyed on
+    ``total_erases``.  Decisions must be bit-for-bit identical to the
+    naive recomputation."""
+
+    @staticmethod
+    def naive_allows(array: FlashArray, block: int, margin: int) -> bool:
+        mean = array.total_erases / len(array.blocks)
+        return array.block(block).erase_count <= mean + margin
+
+    def test_decisions_match_naive_mean(self, tiny_config):
+        array = FlashArray(tiny_config)
+        tracker = WearTracker(array, guard_margin=1)
+        # Skew wear deterministically, interleaving queries with erases
+        # so the cache is exercised both stale and fresh.
+        pattern = [0, 0, 1, 3, 0, 2, 2, 2, 2, 1, 0, 5]
+        for step, block in enumerate(pattern):
+            wear_block(array, block, 1)
+            for candidate in range(len(array.blocks)):
+                assert tracker.allows_erase(candidate) == self.naive_allows(
+                    array, candidate, tracker.guard_margin
+                ), f"divergence at step {step}, candidate {candidate}"
+
+    def test_cache_refreshes_after_erase(self, tiny_config):
+        array = FlashArray(tiny_config)
+        tracker = WearTracker(array, guard_margin=0)
+        assert tracker.allows_erase(0)
+        # Wear block 0 well above the mean; the cached mean must refresh.
+        wear_block(array, 0, 4)
+        assert not tracker.allows_erase(0)
+        # Level the rest of the drive; block 0 becomes acceptable again.
+        for block in range(1, len(array.blocks)):
+            wear_block(array, block, 4)
+        assert tracker.allows_erase(0)
+
+    def test_repeated_queries_hit_cache(self, tiny_config):
+        array = FlashArray(tiny_config)
+        tracker = WearTracker(array, guard_margin=2)
+        wear_block(array, 0, 3)
+        first = [tracker.allows_erase(b) for b in range(len(array.blocks))]
+        # No erases in between: same answers (served from the cache).
+        second = [tracker.allows_erase(b) for b in range(len(array.blocks))]
+        assert first == second
