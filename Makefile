@@ -6,18 +6,21 @@ export PYTHONPATH := src
 test: lint check
 	$(PYTHON) -m pytest -q
 
-# Static checks over the newest surfaces (the fault layer, the pool
-# Protocol and the correctness harness).  Both tools are optional:
-# environments without ruff/mypy (e.g. the minimal CI image) skip them
-# with a notice instead of failing.
+# Static gate, three tools over all of src/repro:
+#   1. repro lint — the repo's own AST-based determinism/layering linter
+#      (pure stdlib, always available, see DESIGN.md §9);
+#   2. ruff, 3. mypy — generic lint/typing.  Both optional: environments
+#      without them (e.g. the minimal CI image) skip with a notice
+#      instead of failing.
 lint:
+	$(PYTHON) -m repro lint src/repro
 	@if command -v ruff >/dev/null 2>&1; then \
-		ruff check src/repro/faults src/repro/check src/repro/core/dvp.py; \
+		ruff check src/repro; \
 	else \
 		echo "lint: ruff not installed, skipping"; \
 	fi
 	@if command -v mypy >/dev/null 2>&1; then \
-		mypy src/repro/faults src/repro/check src/repro/core/dvp.py; \
+		mypy src/repro; \
 	else \
 		echo "lint: mypy not installed, skipping"; \
 	fi

@@ -25,7 +25,7 @@ reduce the per-value statistics to exactly the series the paper plots:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 from ..core.dvp import DeadValuePool, LRUDeadValuePool
 from ..core.hashing import Fingerprint

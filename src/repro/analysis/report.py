@@ -8,7 +8,7 @@ lets benchmarks stay one-call thin and makes the output uniform.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Iterable, List, Mapping, Sequence, Tuple
 
 __all__ = ["render_table", "render_series", "render_bars"]
 

@@ -23,6 +23,9 @@ Commands
     warmup against an uninterrupted run.
 ``bench``
     Time the canonical matrix and refresh ``BENCH_matrix.json``.
+``lint``
+    Run the repo's AST-based determinism/layering linter
+    (:mod:`repro.lint`) over the given paths.
 
 All output goes to stdout; ``--json`` switches machine-readable output
 where applicable.  Commands that fan out over independent cells
@@ -256,6 +259,51 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument(
         "--jobs", type=int, default=0, metavar="N",
         help="workers for the parallel leg (default 0 = all cores)",
+    )
+
+    lint_p = sub.add_parser(
+        "lint",
+        help="AST-based determinism & layering linter (see DESIGN.md §9)",
+    )
+    lint_p.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files/directories to lint (default: src/repro)",
+    )
+    lint_p.add_argument(
+        "--format", choices=("text", "jsonl", "github"), default="text",
+        help="report format: human text, JSONL records, or GitHub "
+             "Actions annotations (default text)",
+    )
+    lint_p.add_argument(
+        "--baseline", default="lint-baseline.json", metavar="PATH",
+        help="baseline file of justified grandfathered findings "
+             "(default lint-baseline.json; missing file = empty)",
+    )
+    lint_p.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline file (report everything)",
+    )
+    lint_p.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline to cover current findings (new "
+             "entries get TODO justifications) and exit 0",
+    )
+    lint_p.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    lint_p.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    lint_p.add_argument(
+        "--rules", action="store_true",
+        help="list the rule catalog (code + summary) and exit",
+    )
+    lint_p.add_argument(
+        "--package-root", default=None, metavar="DIR",
+        help="map module names relative to this directory instead of "
+             "auto-detecting package roots",
     )
     return parser
 
@@ -633,6 +681,78 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0 if report["identical_results"] else 1
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import (
+        Baseline,
+        LintEngine,
+        all_rules,
+        render_github,
+        render_jsonl,
+        render_text,
+    )
+
+    if args.rules:
+        for rule in all_rules():
+            print(f"{rule.code:24s} {rule.summary}")
+        return 0
+
+    known = {rule.code for rule in all_rules()}
+
+    def parse_codes(raw: Optional[str], flag: str) -> Optional[List[str]]:
+        if raw is None:
+            return None
+        codes = [c.strip() for c in raw.split(",") if c.strip()]
+        unknown = [c for c in codes if c not in known]
+        if unknown:
+            raise ValueError(
+                f"{flag}: unknown rule codes {', '.join(unknown)} "
+                f"(see repro lint --rules)"
+            )
+        return codes
+
+    try:
+        select = parse_codes(args.select, "--select")
+        ignore = parse_codes(args.ignore, "--ignore")
+        baseline = (
+            Baseline()
+            if args.no_baseline or args.write_baseline
+            else Baseline.load(args.baseline)
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    engine = LintEngine(
+        select=select,
+        ignore=ignore,
+        baseline=baseline,
+        package_root=args.package_root,
+    )
+    try:
+        result = engine.run(args.paths)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        previous = Baseline.load(args.baseline)
+        updated = Baseline.from_violations(result.violations, previous)
+        updated.save(args.baseline)
+        print(
+            f"wrote {args.baseline}: {len(updated)} entries "
+            f"covering {len(result.violations)} findings "
+            "(replace any TODO justifications before committing)"
+        )
+        return 0
+
+    renderer = {
+        "text": render_text,
+        "jsonl": render_jsonl,
+        "github": render_github,
+    }[args.format]
+    print(renderer(result))
+    return 0 if result.clean else 1
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.report import generate_report
 
@@ -656,6 +776,7 @@ COMMANDS = {
     "matrix": _cmd_matrix,
     "faults": _cmd_faults,
     "bench": _cmd_bench,
+    "lint": _cmd_lint,
 }
 
 

@@ -26,7 +26,7 @@ Two accounting modes mirror the paper's two storage models:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Hashable, Iterable, Optional
 
 __all__ = ["ValueStats", "LifecycleStats", "LifecycleTracker"]

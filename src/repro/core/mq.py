@@ -147,7 +147,9 @@ class MultiQueue(Generic[K, V]):
 
     def keys_in_queue(self, index: int) -> List[K]:
         """Keys of queue ``index`` from LRU head to MRU tail."""
-        return list(self._queues[index].keys())
+        # The queue dict's insertion order IS the LRU->MRU contract;
+        # sorting here would destroy exactly the order callers want.
+        return list(self._queues[index].keys())  # lint: disable=det.set-iter
 
     # ------------------------------------------------------------------
     # Core operations

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean
-from typing import Dict, List, Mapping, Sequence
+from typing import List, Mapping, Sequence
 
 __all__ = ["PaperClaim", "PAPER_CLAIMS", "claim_by_id", "comparison_rows"]
 

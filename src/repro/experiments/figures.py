@@ -31,7 +31,6 @@ Figures sharing simulation runs (9–12, 14, 15) take an
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..analysis.characterize import (
@@ -50,7 +49,7 @@ from ..analysis.characterize import (
 )
 from ..flash.config import SSDConfig, paper_config
 from ..sim.metrics import RunResult, percent_improvement
-from ..traces.profiles import PROFILES, TraceAudit, audit_trace, profile_by_name
+from ..traces.profiles import TraceAudit, audit_trace, profile_by_name
 from ..traces.synthetic import generate_trace
 from .config import DEFAULT_SCALE, RunConfig
 from .runner import (

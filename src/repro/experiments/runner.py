@@ -23,11 +23,8 @@ from typing import (
     TYPE_CHECKING,
     Callable,
     Dict,
-    Iterable,
-    List,
     Optional,
     Sequence,
-    Tuple,
     Union,
 )
 

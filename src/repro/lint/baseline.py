@@ -1,0 +1,163 @@
+"""The lint baseline: justified, reviewed grandfathered findings.
+
+A baseline entry suppresses every violation of one rule code within one
+``(file, context)`` pair — context being the dotted qualname of the
+enclosing definition, which survives unrelated edits far better than a
+line number.  Every entry must carry a non-empty ``justification``; an
+entry without one fails loading, so "baseline it" is never cheaper than
+a one-line explanation.
+
+File format (``lint-baseline.json``, tracked in git)::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "path": "src/repro/example.py",
+          "code": "det.set-iter",
+          "context": "SomeClass.some_method",
+          "justification": "iterates a set of ints into a sum - order-free"
+        }
+      ]
+    }
+
+Entries that no longer match anything are reported as *stale* so the
+baseline only ever shrinks; ``repro lint --write-baseline`` regenerates
+the file from the current findings (with TODO justifications for new
+entries, preserving existing text for ones that survive).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .violations import Violation
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding family."""
+
+    path: str
+    code: str
+    context: str
+    justification: str
+
+    def key(self) -> str:
+        return f"{self.path}::{self.context}::{self.code}"
+
+    def matches(self, violation: Violation) -> bool:
+        return (
+            violation.path == self.path
+            and violation.code == self.code
+            and violation.context == self.context
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "code": self.code,
+            "context": self.context,
+            "justification": self.justification,
+        }
+
+
+class Baseline:
+    """An ordered set of entries with fast (path, code, context) lookup."""
+
+    def __init__(self, entries: Optional[List[BaselineEntry]] = None) -> None:
+        self.entries: List[BaselineEntry] = list(entries or [])
+        self._index: Dict[str, BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def match(self, violation: Violation) -> Optional[BaselineEntry]:
+        key = f"{violation.path}::{violation.context}::{violation.code}"
+        return self._index.get(key)
+
+    # -- persistence ---------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Parse and validate a baseline file (missing file = empty)."""
+        if not os.path.exists(path):
+            return cls()
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if payload.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version "
+                f"{payload.get('version')!r} (expected {_VERSION})"
+            )
+        entries = []
+        for raw in payload.get("entries", []):
+            missing = {"path", "code", "context", "justification"} - set(raw)
+            if missing:
+                raise ValueError(
+                    f"{path}: baseline entry missing {sorted(missing)}: "
+                    f"{raw!r}"
+                )
+            if not str(raw["justification"]).strip():
+                raise ValueError(
+                    f"{path}: baseline entry for {raw['path']} "
+                    f"({raw['code']}) has an empty justification - every "
+                    "grandfathered finding needs a one-line reason"
+                )
+            entries.append(
+                BaselineEntry(
+                    path=raw["path"],
+                    code=raw["code"],
+                    context=raw["context"],
+                    justification=str(raw["justification"]).strip(),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": [
+                entry.as_dict()
+                for entry in sorted(self.entries, key=lambda e: e.key())
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    @classmethod
+    def from_violations(
+        cls,
+        violations: List[Violation],
+        previous: Optional["Baseline"] = None,
+    ) -> "Baseline":
+        """A baseline covering ``violations``.
+
+        Justifications from ``previous`` are preserved where the key
+        still matches; new entries get an explicit TODO marker the
+        loader accepts but reviewers are expected to replace.
+        """
+        old = previous._index if previous is not None else {}
+        entries: Dict[str, BaselineEntry] = {}
+        for violation in violations:
+            candidate = BaselineEntry(
+                path=violation.path,
+                code=violation.code,
+                context=violation.context,
+                justification="TODO: justify or fix",
+            )
+            existing = old.get(candidate.key())
+            entries.setdefault(
+                candidate.key(), existing if existing else candidate
+            )
+        return cls(sorted(entries.values(), key=lambda e: e.key()))

@@ -1,0 +1,158 @@
+"""``layer.*`` — import-DAG enforcement.
+
+The architecture is a strict layering (DESIGN.md §1): ``repro.core``
+holds pure data structures (pools, MQ, hashing) usable from anywhere;
+the device layers (``repro.flash``, ``repro.ftl``, ``repro.sim``) build
+on core; the orchestration layers (``repro.experiments``, ``repro.perf``,
+``repro.check``, ``repro.faults``) build on the device layers.  Arrows
+only point downward:
+
+* ``layer.core-purity`` — core imports none of the layers above it, so a
+  pool can be unit-tested, pickled and reasoned about with zero device
+  machinery in sight;
+* ``layer.no-experiments`` — the simulator and FTL never reach up into
+  the experiment harness (not even lazily inside a function: the
+  dependency is the violation, not the import-time cost);
+* ``layer.cycle`` — no module-level import cycles anywhere.  Lazy
+  imports are exempt from *this* rule only, because a function-body
+  import genuinely cannot deadlock module initialisation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..engine import Program
+from ..registry import Rule, register_rule
+from ..violations import Violation
+
+__all__ = ["CorePurityRule", "CycleRule", "NoExperimentsRule"]
+
+
+def _in_package(module: str, package: str) -> bool:
+    return module == package or module.startswith(package + ".")
+
+
+def _targets_package(target: str, package: str) -> bool:
+    return target == package or target.startswith(package + ".")
+
+
+@register_rule
+class CorePurityRule(Rule):
+    """``repro.core`` imports nothing from the layers above it."""
+
+    code = "layer.core-purity"
+    summary = "repro.core importing a higher layer (sim/ftl/experiments/...)"
+
+    #: The layers core must never touch, lazily or otherwise.
+    forbidden: Tuple[str, ...] = (
+        "repro.sim", "repro.ftl", "repro.experiments",
+        "repro.perf", "repro.check", "repro.faults",
+    )
+
+    def check(self, program: Program) -> Iterator[Violation]:
+        for module in program.modules:
+            if not _in_package(module.name, "repro.core"):
+                continue
+            for edge in program.import_graph.edges(
+                module.name, include_lazy=True
+            ):
+                hit = next(
+                    (
+                        pkg for pkg in self.forbidden
+                        if _targets_package(edge.target, pkg)
+                    ),
+                    None,
+                )
+                if hit is None:
+                    continue
+                yield Violation(
+                    path=module.path,
+                    line=edge.line,
+                    col=edge.col,
+                    code=self.code,
+                    message=(
+                        f"repro.core must stay pure but {module.name} "
+                        f"imports {edge.target} ({hit} is a higher "
+                        "layer); move the dependency up or the shared "
+                        "piece down into core"
+                    ),
+                    context="<module>",
+                )
+
+
+@register_rule
+class NoExperimentsRule(Rule):
+    """The simulator and FTL never import the experiment harness."""
+
+    code = "layer.no-experiments"
+    summary = "repro.sim/repro.ftl importing repro.experiments"
+
+    #: Device-layer packages barred from the harness.
+    device_packages: Tuple[str, ...] = ("repro.sim", "repro.ftl")
+    harness_package = "repro.experiments"
+
+    def check(self, program: Program) -> Iterator[Violation]:
+        for module in program.modules:
+            if not any(
+                _in_package(module.name, pkg)
+                for pkg in self.device_packages
+            ):
+                continue
+            for edge in program.import_graph.edges(
+                module.name, include_lazy=True
+            ):
+                if not _targets_package(edge.target, self.harness_package):
+                    continue
+                yield Violation(
+                    path=module.path,
+                    line=edge.line,
+                    col=edge.col,
+                    code=self.code,
+                    message=(
+                        f"{module.name} imports {edge.target}: the device "
+                        "layers must not depend on the experiment harness "
+                        "(invert via a parameter, callback or a type in "
+                        "repro.core)"
+                    ),
+                    context="<module>",
+                )
+
+
+@register_rule
+class CycleRule(Rule):
+    """No import-time cycles in the analyzed tree."""
+
+    code = "layer.cycle"
+    summary = "module-level import cycle"
+
+    def check(self, program: Program) -> Iterator[Violation]:
+        from ..imports import find_cycles
+
+        adjacency = program.import_graph.adjacency(include_lazy=False)
+        for cycle in find_cycles(adjacency):
+            anchor_name = cycle[0]
+            module = program.module_named(anchor_name)
+            # Anchor the report at the import creating the first edge.
+            line, col = 1, 1
+            if module is not None:
+                for edge in program.import_graph.edges(
+                    anchor_name, include_lazy=False
+                ):
+                    if edge.target == cycle[1] or edge.target.startswith(
+                        cycle[1] + "."
+                    ):
+                        line, col = edge.line, edge.col
+                        break
+            yield Violation(
+                path=module.path if module is not None else anchor_name,
+                line=line,
+                col=col,
+                code=self.code,
+                message=(
+                    "import cycle: " + " -> ".join(cycle)
+                    + "; break it with a lazy import or by moving the "
+                    "shared piece into a lower layer"
+                ),
+                context="<module>",
+            )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Iterable, List, Optional
+from typing import Callable, Deque, Iterable, Optional
 
 from ..ftl.ftl import BaseFTL
 from ..ftl.gc import GCWork

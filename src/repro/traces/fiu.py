@@ -16,7 +16,7 @@ format, so the whole pipeline also runs on real FIU data when available.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, TextIO
+from typing import Dict, Iterable, Iterator, TextIO
 
 from ..sim.request import IORequest, OpType
 

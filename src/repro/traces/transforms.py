@@ -13,7 +13,7 @@ transform's purpose is to change it, and every output is in arrival order.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Sequence
 
 from ..sim.request import IORequest, OpType
 

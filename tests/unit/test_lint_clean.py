@@ -1,0 +1,73 @@
+"""Meta-tests: the shipped tree satisfies its own linter.
+
+``make lint`` runs ``repro lint src/repro`` from the repo root; these
+tests pin the same invariant inside the plain pytest suite, so a change
+that introduces a determinism/layering violation (or lets the tracked
+baseline rot) fails even for contributors who skip ``make lint``.
+"""
+
+import inspect
+import pathlib
+
+import pytest
+
+import repro.core.dvp as dvp
+from repro.lint import Baseline, LintEngine
+from repro.lint.rules.proto import _FALLBACK_POOL_SURFACE
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture()
+def repo_cwd(monkeypatch):
+    """Run from the repo root so baseline paths (src/repro/...) match."""
+    if not (REPO_ROOT / "src" / "repro").is_dir():
+        pytest.skip("not running from a source checkout")
+    monkeypatch.chdir(REPO_ROOT)
+
+
+def test_live_tree_is_lint_clean(repo_cwd):
+    baseline = Baseline.load("lint-baseline.json")
+    engine = LintEngine(baseline=baseline)
+    result = engine.run(["src/repro"])
+    assert result.clean, "\n".join(
+        f"{v.location()}: {v.code} {v.message}" for v in result.violations
+    )
+    # the tracked baseline only ever shrinks: every entry still matches
+    assert result.stale_baseline == []
+
+
+def test_live_tree_exercises_both_suppression_channels(repo_cwd):
+    """The shipped tree deliberately carries one inline disable (mq.py)
+    and one baselined family (report.py) so both escape hatches stay
+    exercised end to end; if either count drops to zero the comment or
+    baseline entry went stale and should be pruned with this test."""
+    engine = LintEngine(baseline=Baseline.load("lint-baseline.json"))
+    result = engine.run(["src/repro"])
+    assert result.suppressed >= 1
+    assert result.baselined >= 1
+
+
+def test_fallback_pool_surface_matches_live_protocol():
+    """proto.pool-surface falls back to a hardcoded method tuple when
+    the DeadValuePool Protocol class is not in the linted tree; keep
+    that tuple in sync with the real protocol."""
+    live = {
+        name
+        for name, member in inspect.getmembers(
+            dvp.DeadValuePool, predicate=inspect.isfunction
+        )
+        if not name.startswith("_") or name in ("__len__", "__contains__")
+    }
+    assert set(_FALLBACK_POOL_SURFACE) == live
+
+
+@pytest.mark.parametrize("pool_name", sorted(dvp.POOL_NAMES))
+def test_every_shipped_pool_passes_the_surface_rule(repo_cwd, pool_name):
+    """Belt and braces for proto.pool-surface: each shipped pool really
+    does define the full surface with concrete bodies (the rule checks
+    this statically; here we check the same thing at runtime)."""
+    pool = dvp.pool_from_name(pool_name)
+    for method in _FALLBACK_POOL_SURFACE:
+        attr = getattr(type(pool), method, None)
+        assert callable(attr), f"{type(pool).__name__} missing {method}"
