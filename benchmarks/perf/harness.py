@@ -1,19 +1,101 @@
-"""Refresh BENCH_matrix.json: time the canonical matrix serial vs parallel.
+"""Refresh BENCH_matrix.json and gate against the tracked report.
 
 Usage (from the repo root)::
 
     PYTHONPATH=src python benchmarks/perf/harness.py [--out BENCH_matrix.json]
-        [--jobs N] [--scale S] [--workloads a,b] [--systems x,y]
+        [--jobs N] [--scale S] [--workloads a,b] [--systems x,y] [--no-gate]
+        [--tolerance F]
 
-Thin wrapper over :func:`repro.perf.bench.write_benchmark`; ``make bench``
-calls this.  Exits non-zero if the serial and parallel legs ever disagree
-(``identical_results`` false) so CI catches determinism regressions.
+Thin wrapper over :func:`repro.perf.bench.write_benchmark` plus a
+regression gate; ``make bench`` calls this.  The gate compares the fresh
+report against the committed one before overwriting it and fails on:
+
+* ``identical_results`` false — serial and parallel legs disagreed;
+* a speedup below 1.0 without the explicit ``serial_fallback`` marker —
+  the pool must never be a silent loss;
+* any cell whose digest drifted from the tracked report — simulator
+  behaviour changed without the goldens being re-minted deliberately;
+* any cell more than ``--tolerance`` (default 15%) slower than its
+  tracked ``serial_seconds`` (with a 0.05 s absolute floor — wall timing
+  cannot resolve smaller deltas) — a perf regression in the hot paths.
+
+Timing comparisons are normalized by each report's
+``calibration_seconds`` (a fixed pure-Python loop timed at bench time),
+so a container running 1.5× slower today than when the tracked report
+was minted does not read as a simulator regression.  They only run on
+reports with the same scale; ``--no-gate`` skips the comparison when
+re-minting after an intentional change (the digest drift must then be
+explained in the PR).
 """
 
 import argparse
+import json
+import os
 import sys
 
 from repro.perf.bench import DEFAULT_BENCH_SCALE, write_benchmark
+
+
+def gate(report: dict, tracked: dict, tolerance: float) -> list:
+    """Compare a fresh report against the tracked one; return failures."""
+    failures = []
+    if not report["identical_results"]:
+        failures.append("serial and parallel legs produced different digests")
+    speedup = report.get("speedup")
+    if not report.get("serial_fallback") and (speedup is None or speedup < 1.0):
+        failures.append(
+            f"speedup {speedup} < 1.0 without serial_fallback marker"
+        )
+    if tracked.get("schema") != report["schema"]:
+        failures.append(
+            f"tracked schema {tracked.get('schema')!r} != {report['schema']!r}"
+        )
+        return failures
+    old_cells = {
+        (c["workload"], c["system"]): c for c in tracked.get("cells", [])
+    }
+    comparable = tracked.get("scale") == report["scale"]
+    if not comparable:
+        failures.append(
+            f"tracked scale {tracked.get('scale')} != {report['scale']}: "
+            "timings not comparable (re-mint with --no-gate)"
+        )
+    # Cancel machine-speed drift between mint time and now; reports
+    # predating the calibration field fall back to raw seconds.  An
+    # apparently *faster* machine may tighten the allowance by at most
+    # 15% — beyond that it is far more likely calibration jitter than a
+    # genuinely faster box, and a tighter gate false-fires on every cell.
+    machine = 1.0
+    fresh_cal = report.get("calibration_seconds")
+    tracked_cal = tracked.get("calibration_seconds")
+    if fresh_cal and tracked_cal:
+        machine = max(fresh_cal / tracked_cal, 0.85)
+    for cell in report["cells"]:
+        key = (cell["workload"], cell["system"])
+        old = old_cells.get(key)
+        if old is None:
+            continue  # new cell: nothing tracked to regress against
+        if comparable and old["digest"] != cell["digest"]:
+            failures.append(
+                f"{key[0]}/{key[1]}: digest drifted from tracked report"
+            )
+        # Relative tolerance with an absolute floor: sub-0.05 s deltas on
+        # sub-second cells are below what best-of-N wall timing resolves
+        # on a shared box, so they cannot evidence a regression.
+        baseline = old["serial_seconds"] * machine
+        slowdown = cell["serial_seconds"] - baseline
+        if comparable and slowdown > max(tolerance * baseline, 0.05):
+            failures.append(
+                f"{key[0]}/{key[1]}: serial {cell['serial_seconds']:.3f}s "
+                f"> {1.0 + tolerance:.2f}x tracked "
+                f"{old['serial_seconds']:.3f}s"
+                + (
+                    f" (machine-normalized x{machine:.2f})"
+                    if machine != 1.0
+                    else ""
+                )
+            )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -26,7 +108,16 @@ def main(argv=None) -> int:
                         help="comma-separated (default: canonical slice)")
     parser.add_argument("--systems", default=None,
                         help="comma-separated (default: canonical slice)")
+    parser.add_argument("--no-gate", action="store_true",
+                        help="skip comparison against the tracked report")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="per-cell slowdown tolerance (fraction)")
     args = parser.parse_args(argv)
+
+    tracked = None
+    if not args.no_gate and os.path.exists(args.out):
+        with open(args.out) as f:
+            tracked = json.load(f)
 
     kwargs = {"jobs": args.jobs, "scale": args.scale}
     if args.workloads:
@@ -34,14 +125,33 @@ def main(argv=None) -> int:
     if args.systems:
         kwargs["systems"] = args.systems.split(",")
     report = write_benchmark(args.out, **kwargs)
+    second_leg = (
+        "serial_fallback"
+        if report["serial_fallback"]
+        else f"x{report['speedup']}, jobs={report['jobs']}"
+    )
     print(
         f"wrote {args.out}: {len(report['cells'])} cells, "
         f"serial {report['serial_seconds']:.2f}s, "
         f"parallel {report['parallel_seconds']:.2f}s "
-        f"(x{report['speedup']}, jobs={report['jobs']}), "
+        f"({second_leg}), "
         f"identical_results={report['identical_results']}"
     )
-    return 0 if report["identical_results"] else 1
+
+    if tracked is None:
+        return 0 if report["identical_results"] else 1
+    failures = gate(report, tracked, args.tolerance)
+    for failure in failures:
+        print(f"bench gate: {failure}", file=sys.stderr)
+    if failures:
+        print(
+            f"bench gate: {len(failures)} failure(s) vs tracked {args.out}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"bench gate: OK vs tracked {args.out} "
+          f"(tolerance {args.tolerance:.0%})")
+    return 0
 
 
 if __name__ == "__main__":

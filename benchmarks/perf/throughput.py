@@ -1,0 +1,145 @@
+"""Serial FTL throughput at enlarged device geometries.
+
+The tracked matrix benchmark (``harness.py``) times full trace replays at
+the canonical bench scale; this harness isolates the *core engine* instead:
+it drives ``BaseFTL.write``/``read`` directly — no trace files, no event
+pricing — against a drive ``--geometry-multiple`` times larger than the
+canonical bench footprint, so the cost of the mapping table, block state
+and fingerprint machinery dominates.  This is the measurement behind the
+columnar-state acceptance criterion (ISSUE 6): the array-backed core must
+sustain large geometries that the dict-of-sets layout could not.
+
+The workload is deterministic (seeded PRNG): a full sequential prefill of
+every exported logical page, then a uniform-random overwrite phase and a
+read phase.  Reported numbers are operations per second per phase plus the
+resident memory footprint of the core structures.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/throughput.py [--geometry-multiple 10]
+        [--system baseline] [--overwrites 100000] [--json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+
+from repro.flash.config import scaled_config
+from repro.ftl.dvp_ftl import build_system
+from repro.core.hashing import fingerprint_of_value
+
+#: Logical footprint of the canonical bench scale (mail @ 0.05) — the
+#: reference point "geometry multiple 1" corresponds to.
+BASE_LOGICAL_PAGES = 20_000
+
+
+def _structure_bytes(ftl) -> int:
+    """Rough resident size of the core mapping/flash state, in bytes."""
+    seen = set()
+
+    def size(obj) -> int:
+        if id(obj) in seen:
+            return 0
+        seen.add(id(obj))
+        total = sys.getsizeof(obj)
+        if isinstance(obj, dict):
+            for k, v in obj.items():
+                total += size(k) + size(v)
+        elif isinstance(obj, (list, tuple, set, frozenset)):
+            for item in obj:
+                total += size(item)
+        return total
+
+    mapping = ftl.mapping
+    total = sum(
+        size(getattr(mapping, name))
+        for name in dir(mapping)
+        if not callable(getattr(mapping, name)) and not name.startswith("__")
+    )
+    for block in ftl.array.blocks:
+        total += sys.getsizeof(block.states)
+    return total
+
+
+def run_throughput(
+    geometry_multiple: int = 10,
+    system: str = "baseline",
+    overwrites: int = 100_000,
+    reads: int = 100_000,
+    seed: int = 7,
+):
+    logical_pages = BASE_LOGICAL_PAGES * geometry_multiple
+    config = scaled_config(logical_pages)
+    ftl = build_system(system, config, pool_entries=200_000)
+    rng = random.Random(seed)
+    fp = fingerprint_of_value
+
+    start = time.perf_counter()
+    for lpn in range(logical_pages):
+        ftl.write(lpn, fp(lpn))
+    prefill_seconds = time.perf_counter() - start
+
+    value_clock = logical_pages
+    start = time.perf_counter()
+    for _ in range(overwrites):
+        lpn = rng.randrange(logical_pages)
+        # 50% rewrite-of-recent-content (dedup/revival food), 50% new data.
+        if rng.random() < 0.5:
+            value = rng.randrange(value_clock)
+        else:
+            value = value_clock
+            value_clock += 1
+        ftl.write(lpn, fp(value))
+    overwrite_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(reads):
+        ftl.read(rng.randrange(logical_pages))
+    read_seconds = time.perf_counter() - start
+
+    return {
+        "schema": "repro.perf.throughput/v1",
+        "system": system,
+        "geometry_multiple": geometry_multiple,
+        "logical_pages": logical_pages,
+        "total_pages": config.total_pages,
+        "prefill_pages_per_s": round(logical_pages / prefill_seconds, 1),
+        "overwrite_ops_per_s": round(overwrites / overwrite_seconds, 1),
+        "read_ops_per_s": round(reads / read_seconds, 1),
+        "core_state_bytes": _structure_bytes(ftl),
+        "gc_erases": ftl.counters.gc_erases,
+        "programs": ftl.counters.programs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--geometry-multiple", type=int, default=10)
+    parser.add_argument("--system", default="baseline")
+    parser.add_argument("--overwrites", type=int, default=100_000)
+    parser.add_argument("--reads", type=int, default=100_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    args = parser.parse_args(argv)
+    report = run_throughput(
+        geometry_multiple=args.geometry_multiple,
+        system=args.system,
+        overwrites=args.overwrites,
+        reads=args.reads,
+        seed=args.seed,
+    )
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        for key, value in report.items():
+            print(f"{key}: {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,33 +110,62 @@ class InvariantViolation(AssertionError):
 
 
 def _mapping_violations(ftl: "BaseFTL", out: List[InvariantViolation]) -> None:
+    # The audit reads the mapping's columns directly (forward array, owner
+    # array, shared-spill dict) so it cross-checks the real redundant
+    # state, not an accessor's view of it.
+    from ..ftl.mapping import _NONE, _SHARED
+
     mapping = ftl.mapping
-    forward = mapping._lpn_to_ppn
-    reverse = mapping._ppn_to_lpns
-    for lpn, ppn in forward.items():
-        if lpn not in reverse.get(ppn, ()):
+    l2p = mapping._l2p
+    owner = mapping._owner
+    shared = mapping._shared
+    forward_total = 0
+    for lpn in range(len(l2p)):
+        ppn = l2p[lpn]
+        if ppn < 0:
+            continue
+        forward_total += 1
+        current = owner[ppn] if 0 <= ppn < len(owner) else _NONE
+        if current != lpn and not (
+            current == _SHARED and lpn in shared.get(ppn, ())
+        ):
             out.append(InvariantViolation(
                 "mapping.reverse-missing",
                 f"LPN {lpn} -> PPN {ppn} absent from the reverse index",
                 {"lpn": lpn, "ppn": ppn,
-                 "reverse_lpns": sorted(reverse.get(ppn, ()))},
+                 "reverse_lpns": sorted(mapping.lpns_of(ppn))},
             ))
-    reverse_total = sum(len(lpns) for lpns in reverse.values())
-    if reverse_total != len(forward):
+    reverse_total = 0
+    for ppn in range(len(owner)):
+        current = owner[ppn]
+        if current == _NONE:
+            continue
+        reverse_total += (
+            len(shared.get(ppn, ())) if current == _SHARED else 1
+        )
+    if reverse_total != forward_total:
         out.append(InvariantViolation(
             "mapping.reverse-stale",
             "reverse index holds LPNs the forward table does not",
-            {"forward_entries": len(forward),
+            {"forward_entries": forward_total,
              "reverse_entries": reverse_total},
         ))
-    for ppn in reverse:
+    if forward_total != mapping.mapped_lpn_count():
+        out.append(InvariantViolation(
+            "mapping.reverse-stale",
+            "incremental mapped-LPN counter disagrees with a forward-column "
+            "recount",
+            {"forward_entries": forward_total,
+             "mapped_lpn_count": mapping.mapped_lpn_count()},
+        ))
+    for ppn in mapping.mapped_ppns():
         state = ftl.array.state_of(ppn)
         if state is not PageState.VALID:
             out.append(InvariantViolation(
                 "mapping.dead-ppn",
                 f"mapped PPN {ppn} is {state.name}, not VALID",
                 {"ppn": ppn, "state": state.name,
-                 "lpns": sorted(reverse[ppn])},
+                 "lpns": sorted(mapping.lpns_of(ppn))},
             ))
         if ppn not in ftl._ppn_fp:
             out.append(InvariantViolation(
@@ -155,7 +184,7 @@ def _mapping_violations(ftl: "BaseFTL", out: List[InvariantViolation]) -> None:
 def _array_violations(ftl: "BaseFTL", out: List[InvariantViolation]) -> None:
     array = ftl.array
     free = valid = invalid = retired = 0
-    mapped = ftl.mapping._ppn_to_lpns
+    refcount = ftl.mapping.refcount
     geometry = array.geometry
     for index, block in enumerate(array.blocks):
         if block.retired:
@@ -167,7 +196,7 @@ def _array_violations(ftl: "BaseFTL", out: List[InvariantViolation]) -> None:
         base = geometry.first_ppn_of_block(index)
         for page in block.valid_page_indexes():
             ppn = base + page
-            if ppn not in mapped:
+            if refcount(ppn) == 0:
                 out.append(InvariantViolation(
                     "array.unmapped-valid",
                     f"VALID page {ppn} is referenced by no LPN",
@@ -419,7 +448,7 @@ def _oob_violations(ftl: "BaseFTL", out: List[InvariantViolation]) -> None:
     if isinstance(ftl, DedupFTL):
         return
     trims = ftl._oob_trims
-    for lpn, ppn in ftl.mapping._lpn_to_ppn.items():
+    for lpn, ppn in ftl.mapping.forward_items().items():
         entry = ftl._oob.get(ppn)
         if entry is None:
             continue  # already reported as mapping.no-oob

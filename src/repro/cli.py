@@ -671,14 +671,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if args.scale is not None:
         kwargs["scale"] = args.scale
     report = write_benchmark(args.out, **kwargs)
+    second_leg = (
+        "serial_fallback"
+        if report["serial_fallback"]
+        else f"x{report['speedup']}, jobs={report['jobs']}"
+    )
     print(
         f"wrote {args.out}: {len(report['cells'])} cells, "
         f"serial {report['serial_seconds']:.2f}s, "
         f"parallel {report['parallel_seconds']:.2f}s "
-        f"(x{report['speedup']}, jobs={report['jobs']}), "
+        f"({second_leg}), "
         f"identical_results={report['identical_results']}"
     )
-    return 0 if report["identical_results"] else 1
+    ok = report["identical_results"] and (
+        report["serial_fallback"] or (report["speedup"] or 0) >= 1.0
+    )
+    return 0 if ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:

@@ -11,6 +11,14 @@ dedup FTL and the analysis code.
 Fingerprints compare and hash by digest, so two values collide exactly when
 their digests collide — which for synthetic ids never happens, because the
 digest embeds the id.
+
+Representation: a :class:`Fingerprint` *is* an ``int`` (columnar-state
+rework, ISSUE 6).  A synthetic id is stored as itself; a raw 16-byte
+digest is stored as its 128-bit big-endian value with bit 128 set, which
+keeps the two key spaces disjoint without any per-instance storage.  The
+payoff is on the hot paths: hashing and equality inside the pool, MQ and
+dedup dictionaries run at C speed instead of calling back into Python for
+every probe, and instances carry no ``__dict__``/slot storage at all.
 """
 
 from __future__ import annotations
@@ -30,59 +38,78 @@ __all__ = [
 #: FIU traces, see paper Section II-A).
 DIGEST_SIZE = 16
 
+#: Bit 128: set on bytes-keyed fingerprints so a digest whose value happens
+#: to equal a synthetic id can never compare equal to it.
+_BYTES_TAG = 1 << (8 * DIGEST_SIZE)
 
-class Fingerprint:
+
+class Fingerprint(int):
     """A 16-byte content fingerprint.
 
     Wraps either a synthetic ``value_id`` (fast path used by generated
     traces) or a real digest of raw bytes.  Instances are immutable,
-    hashable and compare equal iff their digests are equal.
+    hashable and compare equal iff their digests are equal.  Equality is
+    restricted to other fingerprints: a fingerprint never compares equal
+    to a plain ``int``, even though it is one underneath.
     """
 
-    __slots__ = ("_key", "_digest")
+    __slots__ = ()
 
-    def __init__(self, key: Union[int, bytes]):
-        if isinstance(key, int):
-            if key < 0:
-                raise ValueError("synthetic value ids must be non-negative")
-            digest = None
-        elif isinstance(key, bytes):
+    def __new__(cls, key: Union[int, bytes]) -> "Fingerprint":
+        if isinstance(key, bytes):
             if len(key) != DIGEST_SIZE:
                 raise ValueError(
                     f"digest must be {DIGEST_SIZE} bytes, got {len(key)}"
                 )
-            digest = key
-        else:
-            raise TypeError(f"fingerprint key must be int or bytes, got {type(key)!r}")
-        self._key = key
-        self._digest = digest
+            return int.__new__(cls, _BYTES_TAG | int.from_bytes(key, "big"))
+        if isinstance(key, int):
+            if key < 0:
+                raise ValueError("synthetic value ids must be non-negative")
+            if key >= _BYTES_TAG:
+                raise ValueError(
+                    f"synthetic value ids must fit in {8 * DIGEST_SIZE} bits"
+                )
+            return int.__new__(cls, key)
+        raise TypeError(f"fingerprint key must be int or bytes, got {type(key)!r}")
 
     @property
     def key(self) -> Union[int, bytes]:
         """The underlying key: an ``int`` value id or a 16-byte digest."""
-        return self._key
+        value = int(self)
+        if value >= _BYTES_TAG:
+            return (value - _BYTES_TAG).to_bytes(DIGEST_SIZE, "big")
+        return value
 
     @property
     def digest(self) -> bytes:
-        """A canonical 16-byte digest (materialised once for int keys)."""
-        digest = self._digest
-        if digest is None:
-            digest = self._key.to_bytes(DIGEST_SIZE, "big")
-            self._digest = digest
-        return digest
+        """A canonical 16-byte digest (materialised once per fingerprint)."""
+        return _digest_of(self)
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, Fingerprint):
-            return self._key == other._key
-        return NotImplemented
+            return int.__eq__(self, other)
+        # Plain False, not NotImplemented: the reflected int comparison
+        # would otherwise declare Fingerprint(5) == 5.
+        return False
 
-    def __hash__(self) -> int:
-        return hash(self._key)
+    def __ne__(self, other: object) -> bool:
+        if isinstance(other, Fingerprint):
+            return int.__ne__(self, other)
+        return True
+
+    __hash__ = int.__hash__
 
     def __repr__(self) -> str:
-        if isinstance(self._key, int):
-            return f"Fingerprint(value_id={self._key})"
-        return f"Fingerprint(digest={self._key.hex()})"
+        value = int(self)
+        if value >= _BYTES_TAG:
+            digest = (value - _BYTES_TAG).to_bytes(DIGEST_SIZE, "big")
+            return f"Fingerprint(digest={digest.hex()})"
+        return f"Fingerprint(value_id={value})"
+
+    def __reduce__(self):
+        # Round-trip through the validating constructor; default int
+        # pickling would drop the subclass distinction on some paths.
+        return (Fingerprint, (self.key,))
 
 
 #: Interning bound for synthetic-id fingerprints.  Hot value ids (popular
@@ -95,6 +122,14 @@ INTERN_CACHE_SIZE = 1 << 18
 @lru_cache(maxsize=INTERN_CACHE_SIZE)
 def _interned(value_id: int) -> Fingerprint:
     return Fingerprint(value_id)
+
+
+@lru_cache(maxsize=INTERN_CACHE_SIZE)
+def _digest_of(fp: Fingerprint) -> bytes:
+    value = int(fp)
+    if value >= _BYTES_TAG:
+        return (value - _BYTES_TAG).to_bytes(DIGEST_SIZE, "big")
+    return value.to_bytes(DIGEST_SIZE, "big")
 
 
 def fingerprint_of_value(value_id: int) -> Fingerprint:

@@ -59,7 +59,7 @@ def queue_index_for_popularity(popularity: int, num_queues: int) -> int:
     return min(index, num_queues - 1)
 
 
-@dataclass
+@dataclass(slots=True)
 class MQEntry(Generic[V]):
     """Bookkeeping attached to every key resident in the multi-queue."""
 

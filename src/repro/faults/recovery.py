@@ -68,7 +68,7 @@ def rebuild_mapping(ftl: "BaseFTL") -> MappingTable:
         current = best.get(lpn)
         if current is None or seq > current[1]:
             best[lpn] = (ppn, seq)
-    table = MappingTable()
+    table = MappingTable(ftl.config.logical_pages, ftl.config.total_pages)
     trims = ftl._oob_trims
     state_of = ftl.array.state_of
     for lpn in sorted(best):

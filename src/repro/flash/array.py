@@ -24,6 +24,10 @@ class FlashArray:
     def __init__(self, config: SSDConfig):
         self.config = config
         self.geometry = Geometry(config)
+        # PPNs are linear (block * pages_per_block + page); the hot
+        # per-page methods below do the arithmetic inline with this cached
+        # size instead of bouncing through Geometry calls.
+        self._pages_per_block = config.pages_per_block
         self.blocks: List[Block] = [
             Block(config.pages_per_block) for _ in range(config.total_blocks)
         ]
@@ -43,7 +47,8 @@ class FlashArray:
         return self.blocks[self.geometry.block_of_ppn(ppn)]
 
     def state_of(self, ppn: int) -> PageState:
-        return self.block_of(ppn).state_of(self.geometry.page_in_block(ppn))
+        block, page = divmod(ppn, self._pages_per_block)
+        return self.blocks[block].state_of(page)
 
     def program_in_block(self, block_global: int) -> int:
         """Program the next page of ``block_global``; return its PPN."""
@@ -52,17 +57,19 @@ class FlashArray:
         self.free_pages -= 1
         self.valid_pages += 1
         self.total_programs += 1
-        return self.geometry.first_ppn_of_block(block_global) + page
+        return block_global * self._pages_per_block + page
 
     def invalidate(self, ppn: int) -> None:
         """A value copy died at ``ppn`` (out-of-place update or unmap)."""
-        self.block_of(ppn).invalidate(self.geometry.page_in_block(ppn))
+        block, page = divmod(ppn, self._pages_per_block)
+        self.blocks[block].invalidate(page)
         self.valid_pages -= 1
         self.invalid_pages += 1
 
     def revive(self, ppn: int) -> None:
         """Dead-value-pool hit: turn the garbage page back to valid."""
-        self.block_of(ppn).revive(self.geometry.page_in_block(ppn))
+        block, page = divmod(ppn, self._pages_per_block)
+        self.blocks[block].revive(page)
         self.invalid_pages -= 1
         self.valid_pages += 1
 

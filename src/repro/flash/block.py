@@ -10,6 +10,14 @@ Validity transitions are the raw material of the whole study: a page going
 ``VALID → INVALID`` is exactly the paper's "death" of a value copy, and the
 dead-value pool's revival flips it back ``INVALID → VALID`` without any
 flash operation.
+
+Page states are packed one byte per page in a ``bytearray`` (columnar-state
+rework, ISSUE 6): a 256-page block costs 256 bytes instead of a list of 256
+enum references, erase/retire reset the buffer in place (one C-level
+memset) rather than reallocating it, and the valid/invalid recounts in
+``check_invariants`` run at ``bytes.count`` speed.  ``state_of`` still
+returns the :class:`PageState` enum — the byte encoding is this module's
+private business.
 """
 
 from __future__ import annotations
@@ -26,8 +34,16 @@ class PageState(Enum):
     INVALID = 2
 
 
+#: Byte values stored in ``Block.states`` — the enum's values, fixed here
+#: so the packed representation is explicit.
+_FREE, _VALID, _INVALID = 0, 1, 2
+
+#: Byte → enum, indexable by the stored state byte.
+_STATE_OF_BYTE = (PageState.FREE, PageState.VALID, PageState.INVALID)
+
+
 class Block:
-    """One erase block: an ordered array of page states plus counters."""
+    """One erase block: a packed array of page-state bytes plus counters."""
 
     __slots__ = (
         "pages_per_block",
@@ -43,7 +59,8 @@ class Block:
         if pages_per_block <= 0:
             raise ValueError("pages_per_block must be positive")
         self.pages_per_block = pages_per_block
-        self.states: List[PageState] = [PageState.FREE] * pages_per_block
+        #: One state byte per page (``PageState`` values); all FREE.
+        self.states = bytearray(pages_per_block)
         self.write_pointer = 0
         self.valid_count = 0
         self.invalid_count = 0
@@ -62,39 +79,50 @@ class Block:
         return self.write_pointer >= self.pages_per_block
 
     def state_of(self, page: int) -> PageState:
-        return self.states[page]
+        return _STATE_OF_BYTE[self.states[page]]
 
     def program_next(self) -> int:
         """Program the next free page as VALID; return its in-block index."""
         if self.retired:
             raise RuntimeError("programming a retired (grown-bad) block")
-        if self.is_full:
-            raise RuntimeError("programming a full block")
         page = self.write_pointer
-        self.states[page] = PageState.VALID
-        self.write_pointer += 1
+        if page >= self.pages_per_block:
+            raise RuntimeError("programming a full block")
+        self.states[page] = _VALID
+        self.write_pointer = page + 1
         self.valid_count += 1
         return page
 
     def invalidate(self, page: int) -> None:
         """VALID → INVALID: the copy stored here just died."""
-        if self.states[page] is not PageState.VALID:
+        if self.states[page] != _VALID:
             raise RuntimeError(
-                f"invalidating page {page} in state {self.states[page].name}"
+                f"invalidating page {page} in state "
+                f"{_STATE_OF_BYTE[self.states[page]].name}"
             )
-        self.states[page] = PageState.INVALID
+        self.states[page] = _INVALID
         self.valid_count -= 1
         self.invalid_count += 1
 
     def revive(self, page: int) -> None:
         """INVALID → VALID: a dead-value-pool hit resurrected this page."""
-        if self.states[page] is not PageState.INVALID:
+        if self.states[page] != _INVALID:
             raise RuntimeError(
-                f"reviving page {page} in state {self.states[page].name}"
+                f"reviving page {page} in state "
+                f"{_STATE_OF_BYTE[self.states[page]].name}"
             )
-        self.states[page] = PageState.VALID
+        self.states[page] = _VALID
         self.invalid_count -= 1
         self.valid_count += 1
+
+    def _reset_states(self) -> None:
+        """Memset the programmed prefix back to FREE, in place."""
+        pointer = self.write_pointer
+        if pointer:
+            self.states[:pointer] = bytes(pointer)
+        self.write_pointer = 0
+        self.valid_count = 0
+        self.invalid_count = 0
 
     def erase(self) -> None:
         """Erase the block; only legal when no valid data remains."""
@@ -102,10 +130,7 @@ class Block:
             raise RuntimeError("erasing a retired (grown-bad) block")
         if self.valid_count != 0:
             raise RuntimeError("erasing a block that still holds valid pages")
-        self.states = [PageState.FREE] * self.pages_per_block
-        self.write_pointer = 0
-        self.valid_count = 0
-        self.invalid_count = 0
+        self._reset_states()
         self.erase_count += 1
 
     def retire(self) -> None:
@@ -117,31 +142,27 @@ class Block:
         """
         if self.valid_count != 0:
             raise RuntimeError("retiring a block that still holds valid pages")
-        self.states = [PageState.FREE] * self.pages_per_block
-        self.write_pointer = 0
-        self.valid_count = 0
-        self.invalid_count = 0
+        self._reset_states()
         self.retired = True
 
     def valid_page_indexes(self) -> List[int]:
         """In-block indexes of VALID pages (relocation set during GC)."""
+        states = self.states
         return [
-            i for i, s in enumerate(self.states[: self.write_pointer])
-            if s is PageState.VALID
+            i for i in range(self.write_pointer) if states[i] == _VALID
         ]
 
     def invalid_page_indexes(self) -> List[int]:
+        states = self.states
         return [
-            i for i, s in enumerate(self.states[: self.write_pointer])
-            if s is PageState.INVALID
+            i for i in range(self.write_pointer) if states[i] == _INVALID
         ]
 
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` on inconsistent counters (test hook)."""
-        valid = sum(1 for s in self.states if s is PageState.VALID)
-        invalid = sum(1 for s in self.states if s is PageState.INVALID)
+        valid = self.states.count(_VALID)
+        invalid = self.states.count(_INVALID)
         assert valid == self.valid_count, "valid_count out of sync"
         assert invalid == self.invalid_count, "invalid_count out of sync"
         assert valid + invalid <= self.write_pointer, "programmed-count mismatch"
-        for i in range(self.write_pointer, self.pages_per_block):
-            assert self.states[i] is PageState.FREE, "free tail violated"
+        assert not any(self.states[self.write_pointer:]), "free tail violated"

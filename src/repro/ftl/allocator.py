@@ -91,11 +91,13 @@ class PageAllocator:
         separation real FTLs use to keep write amplification down).
         """
         actives = self._active_gc if for_gc else self._active
+        blocks = self.array.blocks
         block = actives[plane]
-        if block is None or self.array.block(block).is_full:
+        if block is None or blocks[block].write_pointer >= blocks[block].pages_per_block:
             block = self._open_block(plane, actives)
+        b = blocks[block]
         ppn = self.array.program_in_block(block)
-        if self.array.block(block).is_full:
+        if b.write_pointer >= b.pages_per_block:
             actives[plane] = None
         return ppn
 
@@ -110,6 +112,14 @@ class PageAllocator:
             self._active[plane] == block_global
             or self._active_gc[plane] == block_global
         )
+
+    def actives_of_plane(self, plane: int):
+        """Both append points of ``plane`` as ``(host, gc)`` (may be None).
+
+        Lets a per-plane scan test activeness with two scalar compares
+        instead of :meth:`is_active`'s per-block plane division.
+        """
+        return self._active[plane], self._active_gc[plane]
 
     def check_invariants(self) -> None:
         """Free-listed blocks must be fully erased; actives must be open."""

@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class GCWork:
     """Physical work performed by one collection pass."""
 
@@ -64,6 +64,12 @@ class GCWork:
         self.erased_blocks.extend(other.erased_blocks)
         self.retired_blocks.extend(other.retired_blocks)
         self.reclaimed_pages += other.reclaimed_pages
+
+
+#: Immutable-by-convention empty result for collection passes that decline
+#: to run (the common case); saves one GCWork + three list allocations per
+#: host write.
+_NO_WORK = GCWork()
 
 
 class VictimPolicy(Protocol):
@@ -192,16 +198,19 @@ class GarbageCollector:
         """Collectible blocks: full, non-active, with garbage to reclaim,
         and whose valid pages fit in the plane's remaining writable space
         (so relocation can never strand the plane)."""
-        geometry = self.array.geometry
-        base = plane * geometry.blocks_per_plane
+        blocks_per_plane = self.array.geometry.blocks_per_plane
+        base = plane * blocks_per_plane
+        blocks = self.array.blocks
+        active, active_gc = self.allocator.actives_of_plane(plane)
         out = []
-        for block in range(base, base + geometry.blocks_per_plane):
-            b = self.array.block(block)
+        for block in range(base, base + blocks_per_plane):
+            b = blocks[block]
             if (
                 b.invalid_count > 0
-                and b.is_full
+                and b.write_pointer >= b.pages_per_block
                 and b.valid_count <= capacity
-                and not self.allocator.is_active(block)
+                and block != active
+                and block != active_gc
             ):
                 out.append(block)
         if self.wear_guard is not None:
@@ -220,9 +229,11 @@ class GarbageCollector:
         page while the triggering write consumes exactly one, so free space
         converges without multi-millisecond stop-the-world episodes.
         """
+        if len(self.allocator.free_blocks[plane]) >= self.low_watermark:
+            # Shared empty result for the common above-watermark path;
+            # callers treat returned work as read-only.
+            return _NO_WORK
         work = GCWork()
-        if not self.needs_collection(plane):
-            return work
         self.invocations += 1
         if self.tracer is not None:
             with self.tracer.span("gc.collect"):

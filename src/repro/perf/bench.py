@@ -9,10 +9,12 @@ report is committed (``BENCH_matrix.json`` at the repo root, refreshed by
 history from this PR onward.
 
 Timings are wall-clock and machine-dependent; the *speedup* and the
-``identical_results`` flag are the portable signals.  On a single-core
-box the speedup hovers around (or below) 1× — process pools cannot
-manufacture parallelism — which is why the acceptance criterion is
-stated for 4+ cores.
+``identical_results`` flag are the portable signals.  Where a process
+pool cannot win — a single-core box, or cells so short that fork and
+pickling overheads dominate — the harness runs the second leg serially
+and marks the report ``serial_fallback: true`` instead of committing a
+sub-1× speedup.  A fast matrix is not a parallelism failure; a slow
+pool would be, so that case is made explicit rather than silent.
 """
 
 from __future__ import annotations
@@ -50,11 +52,42 @@ CANONICAL_SYSTEMS = ("baseline", "mq-dvp", "dedup")
 #: cell, large enough that run time dwarfs process-pool overhead.
 DEFAULT_BENCH_SCALE = 0.05
 
+#: Mean per-cell serial seconds below which the pool leg is not worth
+#: its fork/pickle overhead and the harness falls back to serial.
+SERIAL_FALLBACK_THRESHOLD_S = 0.2
+
 
 def _clear_caches() -> None:
     """Cold-start both process caches so timings include all setup."""
     default_trace_cache().clear()
     default_prefill_cache().clear()
+
+
+def _calibrate(repeats: int = 3) -> float:
+    """Best-of-``repeats`` seconds for a fixed pure-Python workload.
+
+    Shared boxes and throttled containers drift by 1.5×+ between
+    sessions, which would swamp any absolute-seconds regression gate.
+    This loop exercises the interpreter the way the simulator does
+    (dict stores, int arithmetic, list indexing); the gate divides both
+    reports' cell timings by their calibration so it compares simulator
+    *work*, not machine speed of the day.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        table = {}
+        acc = 0
+        slots = list(range(1024))
+        # Sized to take roughly one bench cell (~0.2 s): a much shorter
+        # loop can catch a turbo/cache burst the cells cannot sustain,
+        # skewing the normalization.
+        for i in range(500_000):
+            table[i & 1023] = i
+            acc += i ^ (i >> 3)
+            slots[i & 1023] = acc & 65535
+        best = min(best, time.perf_counter() - start)
+    return best
 
 
 def run_benchmark(
@@ -63,13 +96,20 @@ def run_benchmark(
     scale: float = DEFAULT_BENCH_SCALE,
     paper_pool_entries: int = 200_000,
     jobs: Optional[int] = None,
+    serial_repeats: int = 3,
 ) -> Dict:
     """Time the canonical matrix serially and in parallel; return the report.
 
     ``jobs=None`` uses every core for the parallel leg.  Both legs start
-    from cold in-memory caches; the serial leg records per-cell seconds,
-    the parallel leg records end-to-end wall time.  Digests of every cell
-    are compared across legs — ``identical_results`` must be true.
+    from cold in-memory caches; the serial leg records per-cell seconds
+    (best of ``serial_repeats`` cold legs — the noise-stable statistic
+    the regression gate compares), the parallel leg records end-to-end
+    wall time.  Digests of every cell are compared across legs —
+    ``identical_results`` must be true.
+
+    When the pool cannot plausibly win (one core, or cells cheaper than
+    :data:`SERIAL_FALLBACK_THRESHOLD_S` on average), the second leg runs
+    serially too and the report carries ``serial_fallback: true``.
     """
     jobs = resolve_jobs(jobs)
     specs = [
@@ -87,17 +127,35 @@ def run_benchmark(
     serial_start = time.perf_counter()
     serial = run_specs_timed(specs, jobs=1)
     serial_seconds = time.perf_counter() - serial_start
+    # Per-cell times are best-of-N over identical cold legs: single-shot
+    # 0.2 s timings jitter ±20% on shared boxes, which would false-fire
+    # the harness's 15% regression gate.  The min is the stable statistic.
+    cell_seconds = [seconds for _, seconds in serial]
+    for _ in range(max(serial_repeats, 1) - 1):
+        _clear_caches()
+        repeat = run_specs_timed(specs, jobs=1)
+        cell_seconds = [
+            min(best, seconds)
+            for best, (_, seconds) in zip(cell_seconds, repeat)
+        ]
 
+    serial_fallback = (
+        jobs == 1
+        or (os.cpu_count() or 1) == 1
+        or serial_seconds / len(specs) < SERIAL_FALLBACK_THRESHOLD_S
+    )
     _clear_caches()
     parallel_start = time.perf_counter()
-    parallel = run_specs(specs, jobs=jobs)
+    parallel = run_specs(specs, jobs=1 if serial_fallback else jobs)
     parallel_seconds = time.perf_counter() - parallel_start
 
     serial_digests = [result_digest(result) for result, _ in serial]
     parallel_digests = [result_digest(result) for result in parallel]
 
     cells: List[Dict] = []
-    for spec, (result, seconds), digest in zip(specs, serial, serial_digests):
+    for spec, (result, _), seconds, digest in zip(
+        specs, serial, cell_seconds, serial_digests
+    ):
         cells.append(
             {
                 "workload": spec.workload,
@@ -120,10 +178,14 @@ def run_benchmark(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cells": cells,
+        "calibration_seconds": round(_calibrate(), 6),
         "serial_seconds": round(serial_seconds, 6),
         "parallel_seconds": round(parallel_seconds, 6),
+        "serial_fallback": serial_fallback,
+        # Under fallback both legs ran serially: their ratio is timing
+        # noise, not a parallel speedup, so none is recorded.
         "speedup": round(serial_seconds / parallel_seconds, 3)
-        if parallel_seconds > 0
+        if parallel_seconds > 1e-6 and not serial_fallback
         else None,
         "identical_results": serial_digests == parallel_digests,
     }

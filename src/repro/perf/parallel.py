@@ -6,12 +6,26 @@ worker finished first (``Executor.map`` preserves input order), and each
 cell is a pure function of its spec, so ``jobs=N`` is observably identical
 to ``jobs=1`` — the determinism tests compare digests across both paths.
 
-Workers are plain module-level functions (picklable by reference).  Traces
-for the distinct profiles are prewarmed in the parent before the pool
-spawns: under the default ``fork`` start method on Linux the children
-inherit the warm cache copy-on-write and skip generation entirely; under
-``spawn`` each worker regenerates (or hits the optional disk tier) — the
-results are identical either way, it only costs time.
+Workers are plain module-level functions (picklable by reference).  Two
+parent-side prewarms run before the pool spawns so workers never repeat
+shared setup:
+
+* traces for the distinct profiles are generated once into the trace
+  cache, and
+* prefill snapshots for the distinct (family, config, profile) triples
+  are captured once into the prefill cache —
+
+under the default ``fork`` start method on Linux the children inherit
+both warm caches copy-on-write and skip generation *and* the per-page
+prefill loop entirely.  (Under ``spawn`` each worker redoes the work —
+results are identical either way, it only costs time; this is why the
+first fan-out used to run *slower* than serial: every worker paid the
+prefill that the serial path amortised across cells.)
+
+Cells are dispatched in contiguous chunks (one chunk per worker when the
+spec list divides evenly) rather than one task per cell: a worker runs
+its whole chunk in-process, so its local caches stay warm across the
+chunk's cells and per-task dispatch overhead is paid per chunk.
 """
 
 from __future__ import annotations
@@ -21,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import List, Optional, Sequence, Tuple
 
 from ..sim.metrics import RunResult
+from .snapshot import default_prefill_cache
 from .spec import RunSpec, execute_spec, execute_spec_timed
 from .trace_cache import default_trace_cache
 
@@ -48,6 +63,30 @@ def _prewarm_traces(specs: Sequence[RunSpec]) -> None:
             cache.get(profile)
 
 
+def _prewarm_prefills(specs: Sequence[RunSpec]) -> None:
+    """Capture each distinct family prefill snapshot once in the parent.
+
+    Runs after :func:`_prewarm_traces` (contexts hit the warm trace
+    cache).  Forked workers inherit the snapshots and restore by copy
+    instead of each repeating the per-page prefill loop — the fix for
+    the parallel leg benchmarking *slower* than serial.
+    """
+    cache = default_prefill_cache()
+    for spec in specs:
+        context = spec.context()
+        cache.warm(
+            spec.system,
+            context.config,
+            context.profile,
+            spec.paper_pool_entries,
+        )
+
+
+def _chunksize(spec_count: int, workers: int) -> int:
+    """Contiguous cells per worker task (ceil division, at least 1)."""
+    return max(1, -(-spec_count // workers))
+
+
 def _run_spec_worker(spec: RunSpec) -> RunResult:
     return execute_spec(spec)
 
@@ -63,14 +102,23 @@ def run_specs(
 
     ``jobs=1`` (the default) runs serially in-process — no pool, no
     pickling, observability intact.  ``jobs=None``/``0`` uses every core.
+    An explicit ``jobs>1`` always uses the pool (the determinism tests
+    rely on ``jobs=2`` actually exercising the parallel path).
     """
     jobs = resolve_jobs(jobs)
     if jobs == 1 or len(specs) <= 1:
         return [execute_spec(spec) for spec in specs]
     _prewarm_traces(specs)
+    _prewarm_prefills(specs)
     workers = min(jobs, len(specs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_spec_worker, specs))
+        return list(
+            pool.map(
+                _run_spec_worker,
+                specs,
+                chunksize=_chunksize(len(specs), workers),
+            )
+        )
 
 
 def run_specs_timed(
@@ -82,6 +130,13 @@ def run_specs_timed(
     if jobs == 1 or len(specs) <= 1:
         return [execute_spec_timed(spec) for spec in specs]
     _prewarm_traces(specs)
+    _prewarm_prefills(specs)
     workers = min(jobs, len(specs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_run_spec_timed_worker, specs))
+        return list(
+            pool.map(
+                _run_spec_timed_worker,
+                specs,
+                chunksize=_chunksize(len(specs), workers),
+            )
+        )

@@ -115,6 +115,38 @@ class PrefillCache:
     def clear(self) -> None:
         self._snaps.clear()
 
+    def warm(
+        self,
+        system: str,
+        config: SSDConfig,
+        profile: WorkloadProfile,
+        pool_entries: int,
+    ) -> bool:
+        """Ensure the family snapshot for this cell exists, without
+        building a restored system.
+
+        The parallel engine calls this in the *parent* process before the
+        worker pool forks: children inherit the warm snapshot copy-on-
+        write, so no worker ever repeats the per-page prefill loop.
+        Returns ``False`` for systems outside the shareable families.
+        """
+        from ..experiments.runner import prefill  # runtime: avoids a cycle
+
+        ftl = build_system(system, config, pool_entries)
+        if type(ftl) not in _FAMILIES:
+            return False
+        key = (type(ftl).__name__, config, profile_cache_key(profile))
+        if key in self._snaps:
+            self._snaps.move_to_end(key)
+            return True
+        self.misses += 1
+        prefill(ftl, profile)
+        self._snaps[key] = _capture(ftl)
+        self._snaps.move_to_end(key)
+        while len(self._snaps) > self.max_entries:
+            self._snaps.popitem(last=False)
+        return True
+
     def prefilled_system(
         self,
         system: str,

@@ -37,7 +37,7 @@ from .request import CompletedRequest, IORequest, OpType
 __all__ = ["ChipOp", "ChipServer", "EventDrivenSSD"]
 
 
-@dataclass
+@dataclass(slots=True)
 class ChipOp:
     """One flash-array operation queued at a chip."""
 
@@ -214,7 +214,8 @@ class EventDrivenSSD:
                 )
                 return
             # GC ran before the allocation: its ops occupy the chip first.
-            self._charge_gc(outcome.gc)
+            if outcome.gc is not None:
+                self._charge_gc(outcome.gc)
             chip = self.geometry.chip_of_ppn(outcome.program_ppn)
             self._chip_op(
                 chip, "program", self.timing.program_us,

@@ -21,7 +21,7 @@ from typing import Callable, List, Optional
 __all__ = ["EventHandle", "EventEngine"]
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _ScheduledEvent:
     time: float
     seq: int

@@ -21,7 +21,7 @@ from .request import CompletedRequest, OpType
 __all__ = ["LoggedRequest", "CompletionLog"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoggedRequest:
     """The analysable essentials of one completed request."""
 

@@ -25,7 +25,7 @@ class OpType(Enum):
     TRIM = "T"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IORequest:
     """One 4KB host operation.
 
@@ -48,7 +48,7 @@ class IORequest:
         return fingerprint_of_value(self.value_id)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CompletedRequest:
     """A serviced request with its measured latency."""
 

@@ -115,7 +115,8 @@ class SimulatedSSD:
             # GC ran before the allocation, so its reads/programs/erase
             # occupy the chip first and this write queues behind them —
             # "any requests that come during GC are queued up" (Section I).
-            self._charge_gc(outcome.gc, now)
+            if outcome.gc is not None:
+                self._charge_gc(outcome.gc, now)
             finish = now
             if outcome.failed_program_ppns:
                 # Fault layer: every failed attempt still paid the full

@@ -110,8 +110,8 @@ class TestPrefillCache:
         self._system(cache, "baseline")          # seeds the snapshot
         restored = self._system(cache, "mq-dvp")  # restore path
         direct = _prefilled_directly("mq-dvp", self.PROFILE)
-        assert restored.mapping._lpn_to_ppn == direct.mapping._lpn_to_ppn
-        assert restored.mapping._popularity == direct.mapping._popularity
+        assert restored.mapping.forward_items() == direct.mapping.forward_items()
+        assert restored.mapping._pop == direct.mapping._pop
         assert restored.write_clock == direct.write_clock
         assert restored.counters == direct.counters
         restored.check_invariants()

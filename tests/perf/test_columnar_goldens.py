@@ -1,0 +1,49 @@
+"""Columnar-state bit-identity: ISSUE 6's correctness bar.
+
+The ``GOLDEN`` digests below were minted on the commit *before* the
+columnar core-state rework (dict mapping table, enum-list block states),
+at the same scale the fault-determinism goldens use.  The rewrite swaps
+every hot data structure yet must change **zero** simulator decisions, so
+each digest must reproduce byte-for-byte — unchecked, and with the
+invariant sanitizer plus the FTL oracle riding along (``check_interval`` /
+``oracle`` must never perturb outcomes, and the sanitizer walking the
+packed columns must stay silent on healthy runs).
+
+The web/trans goldens live in ``test_fault_determinism.py``; this file
+adds the mail workload — the heaviest dedup trace, exercising the shared
+spill/collapse path of the columnar reverse index hardest.
+"""
+
+import pytest
+
+from repro.perf.spec import RunSpec, execute_spec, result_digest
+
+SCALE = 0.004
+
+#: Minted pre-rework (dict/list core state), mail workload, scale 0.004.
+GOLDEN = {
+    "baseline": "56fed54090524376716e086df3602a450028c9312768e504a03902a633849b76",
+    "mq-dvp": "1a1a9270df00c1be9f66cb25856cab14dbbd2e36090d9de58671426121bfd8e8",
+    "dedup": "cd77337403c2ff12f404040813b969f856e05fb368bef08e14921e46afbd32b1",
+}
+
+
+@pytest.mark.parametrize("system", sorted(GOLDEN))
+class TestColumnarGoldens:
+    def test_unchecked_digest_matches_pre_rework(self, system):
+        result = execute_spec(RunSpec("mail", system, scale=SCALE))
+        assert result_digest(result) == GOLDEN[system]
+
+    def test_checked_run_is_digest_neutral(self, system):
+        """Sanitizer + oracle sweep the columnar state mid-run and must
+        neither fire nor change a single decision."""
+        result = execute_spec(
+            RunSpec(
+                "mail",
+                system,
+                scale=SCALE,
+                check_interval=500,
+                oracle=True,
+            )
+        )
+        assert result_digest(result) == GOLDEN[system]

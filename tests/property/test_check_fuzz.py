@@ -132,7 +132,9 @@ def corrupt_skew_counter(ftl):
 
 
 def corrupt_forge_trim(ftl):
-    lpn = next(iter(ftl.mapping._lpn_to_ppn), None)
+    # Highest mapped LPN: never LPN 0, which the live-checker test
+    # overwrites next (a fresh copy would out-sequence the forged trim).
+    lpn = max(ftl.mapping.forward_items(), default=None)
     if lpn is None:
         return None
     ftl._oob_seq += 1

@@ -1,0 +1,143 @@
+"""Unit tests for the bench regression gate (benchmarks/perf/harness.py).
+
+The gate compares a fresh BENCH_matrix.json report against the tracked
+one and must fail on digest drift, per-cell slowdowns beyond tolerance,
+and sub-1× speedups that are not explicitly marked ``serial_fallback``
+— the "never a silent loss" contract of ISSUE 6.
+"""
+
+import copy
+
+from benchmarks.perf.harness import gate
+
+SCHEMA = "repro.perf.bench_matrix/v1"
+
+
+def _report(**overrides):
+    base = {
+        "schema": SCHEMA,
+        "scale": 0.05,
+        "identical_results": True,
+        "serial_fallback": False,
+        "speedup": 2.4,
+        "calibration_seconds": 0.05,
+        "cells": [
+            {
+                "workload": "mail",
+                "system": "baseline",
+                "serial_seconds": 1.0,
+                "digest": "a" * 64,
+            },
+            {
+                "workload": "web",
+                "system": "mq-dvp",
+                "serial_seconds": 0.5,
+                "digest": "b" * 64,
+            },
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestBenchGate:
+    def test_clean_report_passes(self):
+        assert gate(_report(), _report(), 0.15) == []
+
+    def test_faster_cells_pass(self):
+        fresh = _report()
+        for cell in fresh["cells"]:
+            cell["serial_seconds"] *= 0.5
+        assert gate(fresh, _report(), 0.15) == []
+
+    def test_slowdown_beyond_tolerance_fails(self):
+        fresh = _report()
+        fresh["cells"][0]["serial_seconds"] = 1.2  # +20% > 15%
+        failures = gate(fresh, _report(), 0.15)
+        assert len(failures) == 1
+        assert "mail/baseline" in failures[0]
+
+    def test_slowdown_within_tolerance_passes(self):
+        fresh = _report()
+        fresh["cells"][0]["serial_seconds"] = 1.1  # +10% < 15%
+        assert gate(fresh, _report(), 0.15) == []
+
+    def test_slow_machine_is_normalized_away(self):
+        """A container running 1.5x slower than at mint time must not
+        read as a simulator regression: the calibration loop slows by
+        the same factor and cancels out."""
+        fresh = _report(calibration_seconds=0.075)  # machine 1.5x slower
+        for cell in fresh["cells"]:
+            cell["serial_seconds"] *= 1.5
+        assert gate(fresh, _report(), 0.15) == []
+
+    def test_real_regression_survives_normalization(self):
+        fresh = _report(calibration_seconds=0.075)
+        for cell in fresh["cells"]:
+            cell["serial_seconds"] *= 1.5 * 1.3  # machine x real slowdown
+        failures = gate(fresh, _report(), 0.15)
+        assert len(failures) == 2
+        assert all("machine-normalized" in f for f in failures)
+
+    def test_fast_machine_does_not_mask_regression(self):
+        fresh = _report(calibration_seconds=0.025)  # machine 2x faster
+        # Cells "only" as slow as before = 2x slower in simulator work.
+        failures = gate(fresh, _report(), 0.15)
+        assert len(failures) == 2
+
+    def test_missing_calibration_falls_back_to_raw_seconds(self):
+        tracked = _report()
+        del tracked["calibration_seconds"]
+        fresh = _report(calibration_seconds=0.075)
+        fresh["cells"][0]["serial_seconds"] = 1.2
+        failures = gate(fresh, tracked, 0.15)
+        assert len(failures) == 1
+
+    def test_digest_drift_fails(self):
+        fresh = _report()
+        fresh["cells"][1]["digest"] = "c" * 64
+        failures = gate(fresh, _report(), 0.15)
+        assert any("digest" in f for f in failures)
+
+    def test_sub_unity_speedup_without_marker_fails(self):
+        fresh = _report(speedup=0.73)
+        failures = gate(fresh, _report(), 0.15)
+        assert any("serial_fallback" in f for f in failures)
+
+    def test_serial_fallback_marker_excuses_missing_speedup(self):
+        fresh = _report(serial_fallback=True, speedup=None)
+        assert gate(fresh, _report(), 0.15) == []
+
+    def test_nonidentical_results_fail(self):
+        fresh = _report(identical_results=False)
+        failures = gate(fresh, _report(), 0.15)
+        assert any("different digests" in f for f in failures)
+
+    def test_scale_mismatch_blocks_timing_comparison(self):
+        tracked = _report(scale=0.01)
+        # Make a cell "slower" too: it must NOT double-report, because
+        # cross-scale timings are not comparable.
+        fresh = _report()
+        fresh["cells"][0]["serial_seconds"] = 99.0
+        failures = gate(fresh, tracked, 0.15)
+        assert len(failures) == 1
+        assert "scale" in failures[0]
+
+    def test_new_cell_has_nothing_to_regress_against(self):
+        fresh = _report()
+        fresh["cells"].append(
+            {
+                "workload": "desktop",
+                "system": "dedup",
+                "serial_seconds": 5.0,
+                "digest": "d" * 64,
+            }
+        )
+        assert gate(fresh, _report(), 0.15) == []
+
+    def test_schema_mismatch_fails_fast(self):
+        tracked = copy.deepcopy(_report())
+        tracked["schema"] = "repro.perf.bench_matrix/v0"
+        failures = gate(_report(), tracked, 0.15)
+        assert len(failures) == 1
+        assert "schema" in failures[0]

@@ -89,7 +89,12 @@ class TestErase:
         assert block.invalid_count == 0
         assert block.write_pointer == 0
         assert block.erase_count == 1
-        assert all(s is PageState.FREE for s in block.states)
+        # States are packed bytes; erase must memset them all back to FREE.
+        assert bytes(block.states) == bytes(block.pages_per_block)
+        assert all(
+            block.state_of(page) is PageState.FREE
+            for page in range(block.pages_per_block)
+        )
 
     def test_erase_with_valid_data_refused(self):
         block = Block(4)

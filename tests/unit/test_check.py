@@ -90,8 +90,8 @@ class TestMoreCorruptions:
         # Point the mapping at a dead page without invalidating the old
         # copy or fixing the side structures.
         dead_ppn = next(iter(ftl._garbage_pop_of_ppn))
-        ftl.mapping._lpn_to_ppn[lpn] = dead_ppn
-        ftl.mapping._ppn_to_lpns.setdefault(dead_ppn, set()).add(lpn)
+        ftl.mapping._l2p[lpn] = dead_ppn
+        ftl.mapping._attach(lpn, dead_ppn)
         found = kinds_of(audit(ftl))
         assert "mapping.reverse-stale" in found
         assert "mapping.dead-ppn" in found
@@ -111,7 +111,7 @@ class TestMoreCorruptions:
 
     def test_trim_order_violation(self, tiny_config):
         ftl = healthy_ftl(tiny_config)
-        lpn = next(iter(ftl.mapping._lpn_to_ppn))
+        lpn = next(iter(ftl.mapping.forward_items()))
         # Journal a trim newer than the LPN's live copy.
         ftl._oob_seq += 1
         ftl._oob_trims[lpn] = ftl._oob_seq
@@ -177,18 +177,17 @@ class TestOracle:
         oracle = OracleFTL()
         oracle.sync_from(ftl)
         assert len(oracle) == len(ftl.mapping.forward_items())
-        lpn = next(iter(ftl.mapping._lpn_to_ppn))
+        lpn = next(iter(ftl.mapping.forward_items()))
         assert oracle.value_at(lpn) == ftl._ppn_fp[ftl.mapping.lookup(lpn)]
 
     def test_detects_lost_data(self, tiny_config):
         ftl = healthy_ftl(tiny_config)
         oracle = OracleFTL()
         ftl.attach_checker(InvariantChecker(interval=10_000, oracle=oracle))
-        lpn = next(iter(ftl.mapping._lpn_to_ppn))
+        lpn = next(iter(ftl.mapping.forward_items()))
         # Silently drop the mapping: the next read returns the zero page
         # where the oracle knows data was written.
-        ppn = ftl.mapping._lpn_to_ppn.pop(lpn)
-        ftl.mapping._ppn_to_lpns[ppn].discard(lpn)
+        ftl.mapping.unmap(lpn)
         with pytest.raises(InvariantViolation) as excinfo:
             ftl.read(lpn)
         assert excinfo.value.kind == "oracle.read"
