@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check perf-smoke bench figures
+.PHONY: test lint check perf-smoke fleet-smoke bench figures
 
 test: lint check
 	$(PYTHON) -m pytest -q
@@ -39,7 +39,13 @@ check:
 perf-smoke:
 	$(PYTHON) -m pytest -q -m perf_smoke
 
-# Refresh the tracked perf report (serial vs parallel canonical matrix).
+# Fleet smoke: small sharded runs — jobs=1 vs jobs=N digest identity,
+# routing/partition coverage.  Part of the plain suite too.
+fleet-smoke:
+	$(PYTHON) -m pytest -q -m fleet_smoke
+
+# Refresh the tracked perf report (serial vs parallel canonical matrix
+# plus the fleet section: long-lived shards, pool-mode comparison).
 bench:
 	$(PYTHON) benchmarks/perf/harness.py --out BENCH_matrix.json
 

@@ -19,6 +19,18 @@ report against the committed one before overwriting it and fails on:
   tracked ``serial_seconds`` (with a 0.05 s absolute floor — wall timing
   cannot resolve smaller deltas) — a perf regression in the hot paths.
 
+The report also carries the tracked **fleet** section (``--no-fleet``
+skips it): a GC-bound workload sharded across ``--fleet-shards``
+long-lived drives, run serially and fanned out one worker per shard.
+The gate additionally fails on:
+
+* fleet serial/parallel shard-digest mismatch;
+* fleet digest drift against the tracked section (same fleet shape);
+* a non-fallback fleet speedup below 1.0 — or below 2.0 when the box
+  has ≥4 cores and the fleet ran with ≥4 workers, since four long-lived
+  GC-bound shards that cannot double throughput on four cores mean the
+  fan-out is broken.
+
 Timing comparisons are normalized by each report's
 ``calibration_seconds`` (a fixed pure-Python loop timed at bench time),
 so a container running 1.5× slower today than when the tracked report
@@ -33,7 +45,49 @@ import json
 import os
 import sys
 
-from repro.perf.bench import DEFAULT_BENCH_SCALE, write_benchmark
+from repro.perf.bench import (
+    DEFAULT_BENCH_SCALE,
+    DEFAULT_FLEET_SCALE,
+    DEFAULT_FLEET_SHARDS,
+    write_benchmark,
+)
+
+#: Minimum non-fallback fleet speedup on a box with ≥4 cores running
+#: ≥4 workers (the acceptance bar for the long-lived-shard fan-out).
+FLEET_SPEEDUP_FLOOR = 2.0
+
+
+def gate_fleet(fresh: dict, tracked: dict) -> list:
+    """Fleet-section checks; ``tracked`` may be ``None`` (new section)."""
+    failures = []
+    if not fresh["identical_results"]:
+        failures.append(
+            "fleet: serial and parallel legs produced different shard digests"
+        )
+    speedup = fresh.get("speedup")
+    if not fresh.get("serial_fallback"):
+        if speedup is None or speedup < 1.0:
+            failures.append(
+                f"fleet: speedup {speedup} < 1.0 without serial_fallback "
+                "marker"
+            )
+        elif (
+            (os.cpu_count() or 1) >= 4
+            and fresh.get("jobs", 1) >= 4
+            and speedup < FLEET_SPEEDUP_FLOOR
+        ):
+            failures.append(
+                f"fleet: speedup {speedup} < {FLEET_SPEEDUP_FLOOR} with "
+                f"{fresh['jobs']} workers on {os.cpu_count()} cores"
+            )
+    if tracked:
+        same_shape = all(
+            tracked.get(key) == fresh.get(key)
+            for key in ("workload", "system", "shards", "scale")
+        )
+        if same_shape and tracked.get("fleet_digest") != fresh["fleet_digest"]:
+            failures.append("fleet: digest drifted from tracked report")
+    return failures
 
 
 def gate(report: dict, tracked: dict, tolerance: float) -> list:
@@ -41,6 +95,8 @@ def gate(report: dict, tracked: dict, tolerance: float) -> list:
     failures = []
     if not report["identical_results"]:
         failures.append("serial and parallel legs produced different digests")
+    if report.get("fleet"):
+        failures.extend(gate_fleet(report["fleet"], tracked.get("fleet")))
     speedup = report.get("speedup")
     if not report.get("serial_fallback") and (speedup is None or speedup < 1.0):
         failures.append(
@@ -112,6 +168,16 @@ def main(argv=None) -> int:
                         help="skip comparison against the tracked report")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="per-cell slowdown tolerance (fraction)")
+    parser.add_argument("--fleet-shards", type=int,
+                        default=DEFAULT_FLEET_SHARDS, metavar="N",
+                        help="shards for the tracked fleet section "
+                             f"(default {DEFAULT_FLEET_SHARDS})")
+    parser.add_argument("--fleet-scale", type=float,
+                        default=DEFAULT_FLEET_SCALE,
+                        help="workload scale for the fleet section "
+                             f"(default {DEFAULT_FLEET_SCALE})")
+    parser.add_argument("--no-fleet", action="store_true",
+                        help="skip the fleet section")
     args = parser.parse_args(argv)
 
     tracked = None
@@ -124,6 +190,9 @@ def main(argv=None) -> int:
         kwargs["workloads"] = args.workloads.split(",")
     if args.systems:
         kwargs["systems"] = args.systems.split(",")
+    if not args.no_fleet:
+        kwargs["fleet_shards"] = args.fleet_shards
+        kwargs["fleet_scale"] = args.fleet_scale
     report = write_benchmark(args.out, **kwargs)
     second_leg = (
         "serial_fallback"
@@ -137,9 +206,28 @@ def main(argv=None) -> int:
         f"({second_leg}), "
         f"identical_results={report['identical_results']}"
     )
+    fleet = report.get("fleet")
+    if fleet:
+        fleet_leg = (
+            "serial_fallback"
+            if fleet["serial_fallback"]
+            else f"x{fleet['speedup']}, jobs={fleet['jobs']}"
+        )
+        print(
+            f"fleet: {fleet['shards']}x {fleet['workload']}/"
+            f"{fleet['system']} at scale {fleet['scale']}, "
+            f"serial {fleet['serial_seconds']:.2f}s, "
+            f"parallel {fleet['parallel_seconds']:.2f}s ({fleet_leg}), "
+            f"identical_results={fleet['identical_results']}, "
+            f"pool per-drive {fleet['pool_modes']['per-drive']} vs "
+            f"shared {fleet['pool_modes']['shared']} programs"
+        )
 
     if tracked is None:
-        return 0 if report["identical_results"] else 1
+        ok = report["identical_results"] and (
+            fleet is None or fleet["identical_results"]
+        )
+        return 0 if ok else 1
     failures = gate(report, tracked, args.tolerance)
     for failure in failures:
         print(f"bench gate: {failure}", file=sys.stderr)

@@ -21,6 +21,11 @@ Commands
     Run one system on an unreliable device (seeded fault injection),
     or — with ``--recovery`` — measure the post-crash revival-rate
     warmup against an uninterrupted run.
+``fleet``
+    Shard one workload across N simulated drives (consistent-hash
+    routing), run the shards in parallel, and print the fleet
+    aggregate; ``--compare-pool-modes`` contrasts private per-drive
+    dead-value pools with the shared-pool upper bound.
 ``bench``
     Time the canonical matrix and refresh ``BENCH_matrix.json``.
 ``lint``
@@ -238,6 +243,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     flt_p.add_argument("--json", action="store_true")
     add_common(flt_p)
+
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="shard one workload across N simulated drives and "
+             "aggregate the fleet",
+    )
+    fleet_p.add_argument("--workload", choices=sorted(PROFILES),
+                         required=True)
+    fleet_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
+    fleet_p.add_argument("--shards", type=int, default=4, metavar="N",
+                         help="number of simulated drives (default 4)")
+    fleet_p.add_argument("--pool", type=int, default=200_000,
+                         help="fleet pool budget in paper-label entries "
+                              "(default 200K)")
+    fleet_p.add_argument(
+        "--pool-mode", choices=("per-drive", "shared"), default="per-drive",
+        help="per-drive: split the budget across shards; shared: every "
+             "shard gets the full budget (fleet-wide-pool upper bound)",
+    )
+    fleet_p.add_argument(
+        "--compare-pool-modes", action="store_true",
+        help="run both pool modes and report aggregate flash programs "
+             "for each (overrides --pool-mode)",
+    )
+    fleet_p.add_argument("--seed", type=int, default=None,
+                         help="trace-generator seed override")
+    fleet_p.add_argument(
+        "--check", action="store_true",
+        help="attach the invariant checker + lockstep oracle to every "
+             "shard (digests are identical with and without it)",
+    )
+    fleet_p.add_argument(
+        "--obs", metavar="PATH", default=None,
+        help="write per-shard + fleet JSONL records to PATH",
+    )
+    fleet_p.add_argument("--json", action="store_true")
+    add_common(fleet_p)
+    add_jobs(fleet_p)
 
     bench_p = sub.add_parser(
         "bench", help="time the canonical matrix; refresh BENCH_matrix.json"
@@ -656,6 +699,79 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from .fleet import FleetSpec, compare_pool_modes, run_fleet
+
+    try:
+        spec = FleetSpec(
+            workload=args.workload,
+            system=args.system,
+            shards=args.shards,
+            paper_pool_entries=args.pool,
+            scale=args.scale,
+            seed=args.seed,
+            pool_mode=args.pool_mode,
+            oracle=args.check,
+            check_interval=None,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.compare_pool_modes:
+        comparison = compare_pool_modes(spec, jobs=args.jobs)
+        if args.json:
+            print(json.dumps(comparison.summary(), indent=2, sort_keys=True))
+            return 0
+        rows = [
+            ("per-drive", f"{comparison.per_drive_programs}",
+             f"{comparison.per_drive.write_amplification:.3f}",
+             f"{comparison.per_drive.revival_rate:.3f}"),
+            ("shared", f"{comparison.shared_programs}",
+             f"{comparison.shared.write_amplification:.3f}",
+             f"{comparison.shared.revival_rate:.3f}"),
+        ]
+        print(render_table(
+            ["pool mode", "flash programs", "fleet WA", "revival rate"],
+            rows,
+            title=f"pool modes: {args.system} on {args.workload}, "
+                  f"{args.shards} shards (scale {args.scale})",
+        ))
+        print(f"shared-pool upper bound saves "
+              f"{comparison.programs_saved} programs "
+              f"({comparison.percent_saved:.1f}%)")
+        return 0
+
+    result = run_fleet(spec, jobs=args.jobs)
+    if args.obs:
+        from .obs import JsonlWriter
+
+        try:
+            with JsonlWriter(args.obs) as writer:
+                records = result.export_jsonl(writer)
+        except OSError as exc:
+            print(f"error: cannot open --obs file: {exc}", file=sys.stderr)
+            return 2
+        print(f"fleet export: {records} records -> {args.obs}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        return 0
+    summary = result.summary()
+    rows = [(k, v) for k, v in sorted(summary.items())]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"fleet: {args.system} on {args.workload}, "
+              f"{args.shards} shards, pool {args.pool_mode} "
+              f"(scale {args.scale}, jobs {result.jobs})",
+    ))
+    per_shard = ", ".join(
+        f"shard{i}={n}" for i, n in enumerate(result.shard_requests)
+    )
+    print(f"per-shard requests: {per_shard}", file=sys.stderr)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import write_benchmark
 
@@ -783,6 +899,7 @@ COMMANDS = {
     "replicate": _cmd_replicate,
     "matrix": _cmd_matrix,
     "faults": _cmd_faults,
+    "fleet": _cmd_fleet,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
 }

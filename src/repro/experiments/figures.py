@@ -30,8 +30,7 @@ Figures sharing simulation runs (9–12, 14, 15) take an
 
 from __future__ import annotations
 
-import warnings
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.characterize import (
     InvalidationCDF,
@@ -97,44 +96,20 @@ class EvaluationMatrix:
     :meth:`prewarm` batch-fills cells through the parallel engine —
     figure functions then find every cell already cached.
 
-    The old ``EvaluationMatrix(scale=..., jobs=...)`` constructor still
-    works for one release with a :class:`DeprecationWarning`; pass
-    ``EvaluationMatrix(config=RunConfig(...))`` (or the config
-    positionally) instead.
+    The pre-RunConfig ``EvaluationMatrix(scale=..., jobs=...)``
+    constructor was deprecated in PR 3 and has been removed; pass
+    ``EvaluationMatrix(RunConfig(...))`` (positionally or as
+    ``config=``).
     """
 
-    def __init__(
-        self,
-        scale: Union[RunConfig, float, None] = None,
-        jobs: Optional[int] = None,
-        config: Optional[RunConfig] = None,
-    ):
-        if isinstance(scale, RunConfig):
-            if config is not None:
-                raise TypeError("pass the RunConfig once, not twice")
-            config, scale = scale, None
-        if config is not None:
-            if scale is not None or jobs is not None:
-                raise TypeError(
-                    "EvaluationMatrix got config= and legacy scale/jobs; "
-                    "put them in the RunConfig"
-                )
-            self.config = config
-        else:
-            legacy = {
-                k: v
-                for k, v in dict(scale=scale, jobs=jobs).items()
-                if v is not None
-            }
-            if legacy:
-                warnings.warn(
-                    "EvaluationMatrix(scale=..., jobs=...) is deprecated; "
-                    "pass config=RunConfig(...) instead (see README, "
-                    "'Migrating to RunConfig')",
-                    DeprecationWarning,
-                    stacklevel=2,
-                )
-            self.config = RunConfig(**legacy)
+    def __init__(self, config: Optional[RunConfig] = None):
+        if config is not None and not isinstance(config, RunConfig):
+            raise TypeError(
+                "EvaluationMatrix takes a RunConfig; the legacy "
+                "scale=/jobs= keyword arguments were removed (see README, "
+                "'Migrating to RunConfig')"
+            )
+        self.config = config if config is not None else RunConfig()
         self.scale = self.config.scale
         self.jobs = self.config.jobs
         self._contexts: Dict[str, ExperimentContext] = {}

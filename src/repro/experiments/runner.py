@@ -13,11 +13,21 @@ is written once with its unique initial value (matching the trace
 generator's content model), then counters, pool statistics and latency
 state are reset.  This is what lets cold reads hit real flash pages and
 puts GC in steady state from the first trace request.
+
+:func:`run_system` is a thin driver over the composable
+:class:`~repro.experiments.device.Device` lifecycle
+(build → precondition → attach → step → finalize); the fleet layer
+(:mod:`repro.fleet`) drives the same lifecycle per shard, so single-drive
+and sharded semantics cannot drift apart.
+
+All entry points take a :class:`RunConfig`.  The pre-RunConfig flat
+kwargs (``run_system(system, context, paper_pool_entries=..., scale=...)``
+and friends) were deprecated in PR 3 and have been removed; passing
+anything but a :class:`RunConfig` (or ``None``) raises :class:`TypeError`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
 from typing import (
     TYPE_CHECKING,
@@ -25,20 +35,18 @@ from typing import (
     Dict,
     Optional,
     Sequence,
-    Union,
 )
 
 from ..core.dvp import PoolStats
 from ..core.hashing import fingerprint_of_value
 from ..flash.config import SSDConfig, scaled_config
-from ..ftl.dvp_ftl import build_system
 from ..ftl.ftl import BaseFTL, FTLCounters
 from ..sim.metrics import RunResult
 from ..sim.request import IORequest
-from ..sim.ssd import SimulatedSSD
 from ..traces.profiles import WorkloadProfile, profile_by_name
 from ..traces.synthetic import generate_trace, initial_value_of
 from .config import DEFAULT_SCALE, RunConfig
+from .device import Device
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs.sampler import TimeSeriesSampler
@@ -134,52 +142,29 @@ class ExperimentContext:
         )
 
 
-def _config_from_legacy(
-    func: str, positional: Optional[object], legacy: Dict[str, object]
-) -> RunConfig:
-    """Fold a pre-RunConfig kwarg set into a :class:`RunConfig`.
-
-    ``positional`` is whatever landed in the old third positional slot
-    (``paper_pool_entries`` for ``run_system``, ``scale`` for
-    ``run_matrix``); ``legacy`` maps field name → explicitly passed value
-    (``None`` entries are dropped — they mean "use the default").  Any
-    explicit legacy parameter raises a :class:`DeprecationWarning` naming
-    the replacement.
-    """
-    fields = {k: v for k, v in legacy.items() if v is not None}
-    if fields:
-        names = ", ".join(sorted(fields))
-        warnings.warn(
-            f"passing {names} to {func} directly is deprecated; "
-            f"pass config=RunConfig(...) instead (see README, "
-            f"'Migrating to RunConfig')",
-            DeprecationWarning,
-            stacklevel=3,
+def _coerce_config(func: str, config: Optional[RunConfig]) -> RunConfig:
+    """Validate the ``config`` argument (the legacy flat kwargs are gone)."""
+    if config is None:
+        return RunConfig()
+    if not isinstance(config, RunConfig):
+        raise TypeError(
+            f"{func} takes config=RunConfig(...); the pre-RunConfig "
+            f"positional/keyword arguments were removed (see README, "
+            f"'Migrating to RunConfig')"
         )
-    return RunConfig(**fields)
+    return config
 
 
 def run_system(
     system: str,
     context: ExperimentContext,
-    config: Union[RunConfig, int, None] = None,
-    scale: Optional[float] = None,
-    *,
-    paper_pool_entries: Optional[int] = None,
-    queue_depth: Optional[int] = None,
-    observer: Optional["TimeSeriesSampler"] = None,
-    registry=None,
-    tracer=None,
-    reuse_prefill: Optional[bool] = None,
+    config: Optional[RunConfig] = None,
 ) -> RunResult:
     """Run one studied system over one prepared workload context.
 
     ``config`` (a :class:`RunConfig`) carries every run parameter beyond
     the (system, workload) identity; ``run_system(system, context)``
-    alone runs with the defaults.  The pre-RunConfig keyword arguments
-    (and the old ``paper_pool_entries`` third positional) still work for
-    one release with a :class:`DeprecationWarning`; mixing them with
-    ``config=`` is an error.
+    alone runs with the defaults.
 
     ``config.observer`` (a :class:`~repro.obs.TimeSeriesSampler`) is
     attached after preconditioning so samples cover only the measured
@@ -196,95 +181,25 @@ def run_system(
     The restored state is bit-identical to a direct prefill (the
     determinism tests enforce this).
     """
-    if isinstance(config, RunConfig):
-        mixed = dict(
-            scale=scale,
-            paper_pool_entries=paper_pool_entries,
-            queue_depth=queue_depth,
-            observer=observer,
-            registry=registry,
-            tracer=tracer,
-            reuse_prefill=reuse_prefill,
-        )
-        extras = [k for k, v in mixed.items() if v is not None]
-        if extras:
-            raise TypeError(
-                f"run_system got config= and legacy argument(s) "
-                f"{', '.join(extras)}; put them in the RunConfig"
-            )
-        cfg = config
-    else:
-        cfg = _config_from_legacy(
-            "run_system",
-            config,
-            dict(
-                paper_pool_entries=(
-                    config if config is not None else paper_pool_entries
-                ),
-                scale=scale,
-                queue_depth=queue_depth,
-                observer=observer,
-                registry=registry,
-                tracer=tracer,
-                reuse_prefill=reuse_prefill,
-            ),
-        )
+    cfg = _coerce_config("run_system", config)
     entries = scaled_pool_entries(cfg.paper_pool_entries, cfg.scale)
-    if cfg.reuse_prefill:
-        from ..perf.snapshot import default_prefill_cache
-
-        ftl = default_prefill_cache().prefilled_system(
-            system, context.config, context.profile, entries
-        )
-    else:
-        ftl = build_system(system, context.config, entries)
-        prefill(ftl, context.profile)
-    if cfg.faults is not None:
-        from ..faults.model import FaultModel
-
-        ftl.attach_faults(FaultModel(cfg.faults))
-    if cfg.registry is not None or cfg.tracer is not None:
-        ftl.attach_observability(registry=cfg.registry, tracer=cfg.tracer)
-    if cfg.checking:
-        # Attached after preconditioning (like faults/observability) so the
-        # prefill cache stays checker-free and the audited baseline is the
-        # preconditioned drive.  Checking never mutates FTL state, so the
-        # run's digest is identical with or without it.
-        from ..check import InvariantChecker, OracleFTL
-
-        ftl.attach_checker(InvariantChecker(
-            interval=(
-                cfg.check_interval
-                if cfg.check_interval is not None
-                else InvariantChecker.DEFAULT_INTERVAL
-            ),
-            oracle=OracleFTL() if cfg.oracle else None,
-        ))
+    device = Device(system, context.config, entries)
+    device.precondition(context.profile, reuse_prefill=cfg.reuse_prefill)
+    device.attach(cfg)
     trace = context.trace
     if cfg.trim_every:
         from ..traces.transforms import with_trims
 
         trace = with_trims(trace, cfg.trim_every)
-    device = SimulatedSSD(
-        ftl, queue_depth=cfg.queue_depth, observer=cfg.observer
-    )
-    result = device.run(
-        trace, system=system, workload=context.profile.name
-    )
-    if cfg.observer is not None:
-        cfg.observer.force_sample(device.horizon_us)
-    return result
+    device.step(trace)
+    return device.finalize(workload=context.profile.name)
 
 
 def run_matrix(
     workloads: Sequence[str],
     systems: Sequence[str],
-    config: Union[RunConfig, float, None] = None,
-    paper_pool_entries: Optional[int] = None,
+    config: Optional[RunConfig] = None,
     *,
-    scale: Optional[float] = None,
-    jobs: Optional[int] = None,
-    queue_depth: Optional[int] = None,
     observer_factory: Optional[
         Callable[[str, str], "TimeSeriesSampler"]
     ] = None,
@@ -294,10 +209,7 @@ def run_matrix(
     ``config`` (a :class:`RunConfig`) carries the per-run parameters;
     its ``jobs`` field fans cells out over worker processes (``0`` = all
     cores); results are collected in deterministic (workload, system)
-    order and are digest-identical to the serial path.  The
-    pre-RunConfig keyword arguments (and the old ``scale`` third
-    positional) still work for one release with a
-    :class:`DeprecationWarning`.
+    order and are digest-identical to the serial path.
 
     ``observer_factory(workload, system)`` builds a fresh per-cell
     :class:`~repro.obs.TimeSeriesSampler`; samplers hold callbacks that
@@ -306,34 +218,7 @@ def run_matrix(
     each cell gets its own freshly seeded model, which is what keeps
     fault matrices bit-identical across ``jobs`` settings.
     """
-    if isinstance(config, RunConfig):
-        extras = [
-            k
-            for k, v in dict(
-                paper_pool_entries=paper_pool_entries,
-                scale=scale,
-                jobs=jobs,
-                queue_depth=queue_depth,
-            ).items()
-            if v is not None
-        ]
-        if extras:
-            raise TypeError(
-                f"run_matrix got config= and legacy argument(s) "
-                f"{', '.join(extras)}; put them in the RunConfig"
-            )
-        cfg = config
-    else:
-        cfg = _config_from_legacy(
-            "run_matrix",
-            config,
-            dict(
-                scale=config if config is not None else scale,
-                paper_pool_entries=paper_pool_entries,
-                jobs=jobs,
-                queue_depth=queue_depth,
-            ),
-        )
+    cfg = _coerce_config("run_matrix", config)
     if observer_factory is not None and cfg.jobs != 1:
         raise ValueError(
             "observer_factory requires jobs=1: samplers are attached to "

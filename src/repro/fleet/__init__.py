@@ -1,0 +1,36 @@
+"""repro.fleet — fleet-scale sharded simulation over the Device lifecycle.
+
+A fleet consistent-hashes the logical address space across ``N``
+simulated drives (shards) and replays each shard's slice of the workload
+on its own :class:`~repro.experiments.device.Device`.  Shards are pure
+functions of their :class:`ShardSpec`, so they fan out to long-lived
+worker processes on the :mod:`repro.perf` engine and collect in
+deterministic shard order — ``jobs=1`` and ``jobs=N`` produce
+bit-identical per-shard digests (the fleet determinism tests enforce
+it, and the tracked fleet bench cell gates it).
+
+Layering: this package sits in the harness layer next to
+:mod:`repro.experiments` and :mod:`repro.perf`; device-model packages
+(core/flash/ftl/sim) must never import it (enforced by ``repro.lint``).
+"""
+
+from .aggregate import FleetResult, PoolModeComparison
+from .fleet import (
+    FleetSpec,
+    ShardSpec,
+    compare_pool_modes,
+    execute_shard,
+    run_fleet,
+)
+from .ring import HashRing
+
+__all__ = [
+    "FleetResult",
+    "FleetSpec",
+    "HashRing",
+    "PoolModeComparison",
+    "ShardSpec",
+    "compare_pool_modes",
+    "execute_shard",
+    "run_fleet",
+]

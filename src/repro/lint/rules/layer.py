@@ -4,8 +4,8 @@ The architecture is a strict layering (DESIGN.md §1): ``repro.core``
 holds pure data structures (pools, MQ, hashing) usable from anywhere;
 the device layers (``repro.flash``, ``repro.ftl``, ``repro.sim``) build
 on core; the orchestration layers (``repro.experiments``, ``repro.perf``,
-``repro.check``, ``repro.faults``) build on the device layers.  Arrows
-only point downward:
+``repro.fleet``, ``repro.check``, ``repro.faults``) build on the device
+layers.  Arrows only point downward:
 
 * ``layer.core-purity`` — core imports none of the layers above it, so a
   pool can be unit-tested, pickled and reasoned about with zero device
@@ -47,7 +47,7 @@ class CorePurityRule(Rule):
     #: The layers core must never touch, lazily or otherwise.
     forbidden: Tuple[str, ...] = (
         "repro.sim", "repro.ftl", "repro.experiments",
-        "repro.perf", "repro.check", "repro.faults",
+        "repro.perf", "repro.fleet", "repro.check", "repro.faults",
     )
 
     def check(self, program: Program) -> Iterator[Violation]:
@@ -83,14 +83,17 @@ class CorePurityRule(Rule):
 
 @register_rule
 class NoExperimentsRule(Rule):
-    """The simulator and FTL never import the experiment harness."""
+    """The simulator and FTL never import the harness layer."""
 
     code = "layer.no-experiments"
-    summary = "repro.sim/repro.ftl importing repro.experiments"
+    summary = "repro.sim/repro.ftl importing repro.experiments/repro.fleet"
 
     #: Device-layer packages barred from the harness.
     device_packages: Tuple[str, ...] = ("repro.sim", "repro.ftl")
-    harness_package = "repro.experiments"
+    #: Harness-layer packages the device layers must never reach into.
+    #: ``repro.fleet`` sits beside ``repro.experiments``: it orchestrates
+    #: many devices, so a device importing it would invert the stack.
+    harness_packages: Tuple[str, ...] = ("repro.experiments", "repro.fleet")
 
     def check(self, program: Program) -> Iterator[Violation]:
         for module in program.modules:
@@ -102,7 +105,10 @@ class NoExperimentsRule(Rule):
             for edge in program.import_graph.edges(
                 module.name, include_lazy=True
             ):
-                if not _targets_package(edge.target, self.harness_package):
+                if not any(
+                    _targets_package(edge.target, pkg)
+                    for pkg in self.harness_packages
+                ):
                     continue
                 yield Violation(
                     path=module.path,
@@ -111,7 +117,7 @@ class NoExperimentsRule(Rule):
                     code=self.code,
                     message=(
                         f"{module.name} imports {edge.target}: the device "
-                        "layers must not depend on the experiment harness "
+                        "layers must not depend on the harness layer "
                         "(invert via a parameter, callback or a type in "
                         "repro.core)"
                     ),

@@ -28,6 +28,7 @@ __all__ = [
     "execute_spec",
     "execute_spec_timed",
     "result_digest",
+    "pool_chunksize",
     "resolve_jobs",
     "run_specs",
     "run_specs_timed",
@@ -46,6 +47,7 @@ _EXPORTS = {
     "execute_spec": ".spec",
     "execute_spec_timed": ".spec",
     "result_digest": ".spec",
+    "pool_chunksize": ".parallel",
     "resolve_jobs": ".parallel",
     "run_specs": ".parallel",
     "run_specs_timed": ".parallel",
@@ -61,7 +63,12 @@ _EXPORTS = {
 
 if TYPE_CHECKING:  # pragma: no cover - static analysis only
     from .bench import run_benchmark, write_benchmark
-    from .parallel import resolve_jobs, run_specs, run_specs_timed
+    from .parallel import (
+        pool_chunksize,
+        resolve_jobs,
+        run_specs,
+        run_specs_timed,
+    )
     from .snapshot import PrefillCache, default_prefill_cache
     from .spec import (
         RunSpec,

@@ -36,7 +36,12 @@ __all__ = [
     "CANONICAL_WORKLOADS",
     "CANONICAL_SYSTEMS",
     "DEFAULT_BENCH_SCALE",
+    "DEFAULT_FLEET_SHARDS",
+    "DEFAULT_FLEET_SCALE",
+    "FLEET_BENCH_WORKLOAD",
+    "FLEET_BENCH_SYSTEM",
     "run_benchmark",
+    "run_fleet_benchmark",
     "write_benchmark",
 ]
 
@@ -55,6 +60,17 @@ DEFAULT_BENCH_SCALE = 0.05
 #: Mean per-cell serial seconds below which the pool leg is not worth
 #: its fork/pickle overhead and the harness falls back to serial.
 SERIAL_FALLBACK_THRESHOLD_S = 0.2
+
+#: The tracked fleet cell: the heaviest-dedup workload on the headline
+#: system, sharded 4 ways.  The scale is chosen GC-bound (hundreds of
+#: erases at 0.2 on mail/mq-dvp) with per-shard serial time well above
+#: :data:`SERIAL_FALLBACK_THRESHOLD_S`, so on a ≥4-core runner the
+#: long-lived-shard fan-out must show a real speedup (the bench gate
+#: requires ≥2× at jobs≥4) rather than measuring fork overhead.
+FLEET_BENCH_WORKLOAD = "mail"
+FLEET_BENCH_SYSTEM = "mq-dvp"
+DEFAULT_FLEET_SHARDS = 4
+DEFAULT_FLEET_SCALE = 0.2
 
 
 def _clear_caches() -> None:
@@ -191,9 +207,103 @@ def run_benchmark(
     }
 
 
-def write_benchmark(path: str = "BENCH_matrix.json", **kwargs) -> Dict:
-    """Run the benchmark and write the report to ``path``; returns it."""
+def run_fleet_benchmark(
+    shards: int = DEFAULT_FLEET_SHARDS,
+    jobs: Optional[int] = None,
+    scale: float = DEFAULT_FLEET_SCALE,
+    workload: str = FLEET_BENCH_WORKLOAD,
+    system: str = FLEET_BENCH_SYSTEM,
+) -> Dict:
+    """Time the fleet cell serially and fanned out; return its report.
+
+    Unlike the matrix leg (many short cells), the fleet leg is ``shards``
+    *long-lived* drives: one worker per shard, each replaying its whole
+    slice of the trace.  Serial and parallel legs must mint identical
+    per-shard digest tuples; the shared-vs-per-drive pool comparison
+    rides along (aggregate flash programs under both modes), reusing the
+    serial run as the per-drive data point.
+
+    The same fallback rule as the matrix applies: on a single core, with
+    ``jobs=1``, or when a shard is too cheap to amortise a fork, the
+    second leg runs serially and the section is marked
+    ``serial_fallback`` rather than recording a meaningless ratio.
+    """
+    from dataclasses import replace as dc_replace
+
+    from ..fleet import FleetSpec, run_fleet
+
+    jobs = resolve_jobs(jobs, tasks=shards)
+    spec = FleetSpec(
+        workload=workload, system=system, shards=shards, scale=scale
+    )
+
+    _clear_caches()
+    serial_start = time.perf_counter()
+    serial = run_fleet(spec, jobs=1)
+    serial_seconds = time.perf_counter() - serial_start
+
+    serial_fallback = (
+        jobs == 1
+        or (os.cpu_count() or 1) == 1
+        or serial_seconds / shards < SERIAL_FALLBACK_THRESHOLD_S
+    )
+    _clear_caches()
+    parallel_start = time.perf_counter()
+    parallel = run_fleet(spec, jobs=1 if serial_fallback else jobs)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    # Pool-mode comparison point: same fleet, shared budget (the
+    # fleet-wide-pool upper bound).  Untimed — the warm trace cache is
+    # fine here — and run with the same effective jobs as the second leg.
+    shared = run_fleet(
+        dc_replace(spec, pool_mode="shared"),
+        jobs=1 if serial_fallback else jobs,
+    )
+
+    return {
+        "workload": workload,
+        "system": system,
+        "shards": shards,
+        "scale": scale,
+        "jobs": parallel.jobs,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "serial_fallback": serial_fallback,
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 1e-6 and not serial_fallback
+        else None,
+        "identical_results": serial.shard_digests == parallel.shard_digests,
+        "shard_digests": list(serial.shard_digests),
+        "fleet_digest": serial.fleet_digest,
+        "requests": serial.host_writes + serial.host_reads,
+        "write_amplification": round(serial.write_amplification, 6),
+        "revival_rate": round(serial.revival_rate, 6),
+        "imbalance_cv": round(serial.imbalance_cv, 6),
+        "pool_modes": {
+            "per-drive": serial.flash_programs,
+            "shared": shared.flash_programs,
+        },
+    }
+
+
+def write_benchmark(
+    path: str = "BENCH_matrix.json",
+    fleet_shards: Optional[int] = None,
+    fleet_scale: float = DEFAULT_FLEET_SCALE,
+    **kwargs,
+) -> Dict:
+    """Run the benchmark and write the report to ``path``; returns it.
+
+    ``fleet_shards`` (``None`` = skip) appends the tracked fleet section
+    to the report; the fleet leg runs with the matrix leg's ``jobs``.
+    """
     report = run_benchmark(**kwargs)
+    if fleet_shards is not None:
+        report["fleet"] = run_fleet_benchmark(
+            shards=fleet_shards,
+            jobs=kwargs.get("jobs"),
+            scale=fleet_scale,
+        )
     with open(path, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")

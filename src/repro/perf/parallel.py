@@ -39,16 +39,41 @@ from .snapshot import default_prefill_cache
 from .spec import RunSpec, execute_spec, execute_spec_timed
 from .trace_cache import default_trace_cache
 
-__all__ = ["resolve_jobs", "run_specs", "run_specs_timed"]
+__all__ = ["pool_chunksize", "resolve_jobs", "run_specs", "run_specs_timed"]
 
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores."""
+def resolve_jobs(jobs: Optional[int], tasks: Optional[int] = None) -> int:
+    """Normalise a ``--jobs`` value: ``None``/``0`` means all cores.
+
+    With ``tasks`` the result is additionally capped at the task count —
+    a fleet of 4 long-lived shards can never keep more than 4 workers
+    busy, so asking for 16 must not fork 12 idle processes.
+    """
     if jobs is None or jobs == 0:
-        return os.cpu_count() or 1
-    if jobs < 0:
+        jobs = os.cpu_count() or 1
+    elif jobs < 0:
         raise ValueError("jobs must be >= 0")
+    if tasks is not None and tasks > 0:
+        jobs = min(jobs, tasks)
     return jobs
+
+
+def pool_chunksize(task_count: int, workers: int) -> int:
+    """Contiguous tasks per worker dispatch (at least 1).
+
+    Floor division, deliberately: the old ceil division produced
+    *oversized* chunks whenever the task count was not a multiple of the
+    worker count — 6 cells over 4 workers became 3 chunks of 2, leaving
+    one worker idle for the whole run.  That was tolerable for 8 tiny
+    matrix cells but ruinous for the fleet's long-lived shards, where one
+    idle worker is a whole shard-lifetime of lost parallelism.  Floor
+    keeps at least ``workers`` dispatches whenever ``task_count >=
+    workers`` (6 over 4 → chunksize 1 → six dispatches, everyone works)
+    and still amortises dispatch overhead when the division is exact.
+    """
+    if task_count <= 0 or workers <= 0:
+        return 1
+    return max(1, task_count // workers)
 
 
 def _prewarm_traces(specs: Sequence[RunSpec]) -> None:
@@ -82,11 +107,6 @@ def _prewarm_prefills(specs: Sequence[RunSpec]) -> None:
         )
 
 
-def _chunksize(spec_count: int, workers: int) -> int:
-    """Contiguous cells per worker task (ceil division, at least 1)."""
-    return max(1, -(-spec_count // workers))
-
-
 def _run_spec_worker(spec: RunSpec) -> RunResult:
     return execute_spec(spec)
 
@@ -116,7 +136,7 @@ def run_specs(
             pool.map(
                 _run_spec_worker,
                 specs,
-                chunksize=_chunksize(len(specs), workers),
+                chunksize=pool_chunksize(len(specs), workers),
             )
         )
 
@@ -137,6 +157,6 @@ def run_specs_timed(
             pool.map(
                 _run_spec_timed_worker,
                 specs,
-                chunksize=_chunksize(len(specs), workers),
+                chunksize=pool_chunksize(len(specs), workers),
             )
         )

@@ -66,6 +66,9 @@ class SimulatedSSD:
         self.reads = LatencyStats()
         self.writes = LatencyStats()
         self._horizon_us = 0.0
+        #: Host requests serviced so far (across every :meth:`service`
+        #: batch) — the global index crash injection counts against.
+        self.requests_served = 0
         #: :class:`~repro.faults.recovery.RecoveryReport` per power-loss
         #: event injected during :meth:`run`.
         self.recovery_reports: list = []
@@ -217,24 +220,39 @@ class SimulatedSSD:
 
     # ------------------------------------------------------------------
 
-    def run(
+    def service(
         self,
         requests: Iterable[IORequest],
-        system: str = "",
-        workload: str = "",
         progress: Optional[Callable[[int], None]] = None,
-    ) -> RunResult:
-        """Replay a whole trace and package the results."""
+    ) -> int:
+        """Service a batch of requests; returns how many were serviced.
+
+        Batches compose: feeding a trace through several ``service`` calls
+        is observably identical to one :meth:`run` over the whole trace —
+        ``requests_served`` carries the global request index across
+        batches, so crash injection (``crash_after_requests``) and the
+        progress cadence count from the start of the *run*, not the
+        batch.  This is what lets the fleet layer stream chunked request
+        batches through a long-lived device without perturbing digests.
+        """
         faults = self.ftl.faults
         crash_after = (
             faults.config.crash_after_requests if faults is not None else None
         )
-        for index, request in enumerate(requests):
+        count = 0
+        for request in requests:
             self.submit(request)
-            if crash_after is not None and index + 1 == crash_after:
+            index = self.requests_served
+            self.requests_served += 1
+            count += 1
+            if crash_after is not None and self.requests_served == crash_after:
                 self.power_loss()
             if progress is not None and index % 10000 == 0:
                 progress(index)
+        return count
+
+    def result(self, system: str = "", workload: str = "") -> RunResult:
+        """Package everything serviced so far as a :class:`RunResult`."""
         pool_stats = None
         if self.ftl.pool is not None:
             stats = self.ftl.pool.stats
@@ -259,6 +277,17 @@ class SimulatedSSD:
                 else None
             ),
         )
+
+    def run(
+        self,
+        requests: Iterable[IORequest],
+        system: str = "",
+        workload: str = "",
+        progress: Optional[Callable[[int], None]] = None,
+    ) -> RunResult:
+        """Replay a whole trace and package the results."""
+        self.service(requests, progress=progress)
+        return self.result(system=system, workload=workload)
 
     def power_loss(self):
         """Inject a power-loss event *now*: volatile FTL state is gone and

@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments.runner import (
     ExperimentContext,
+    RunConfig,
     config_for_profile,
     prefill,
     run_system,
@@ -44,7 +45,10 @@ ALL_SYSTEMS = [
 @pytest.fixture(scope="module")
 def results(context):
     return {
-        system: run_system(system, context, 200_000, scale=0.05)
+        system: run_system(
+            system, context,
+            RunConfig(paper_pool_entries=200_000, scale=0.05),
+        )
         for system in ALL_SYSTEMS
     }
 

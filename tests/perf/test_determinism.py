@@ -10,6 +10,7 @@ import pytest
 from repro.experiments.replication import paired_improvement, replicate
 from repro.experiments.runner import (
     ExperimentContext,
+    RunConfig,
     run_matrix,
     run_system,
 )
@@ -52,7 +53,7 @@ class TestRunDeterminism:
         manual = run_system(
             "mq-dvp",
             ExperimentContext.for_workload("web", SCALE),
-            scale=SCALE,
+            RunConfig(scale=SCALE),
         )
         assert result_digest(execute_spec(spec)) == result_digest(manual)
 
@@ -67,8 +68,7 @@ class TestRunDeterminism:
         cold = run_system(
             "mq-dvp",
             ExperimentContext.for_workload("web", SCALE),
-            scale=SCALE,
-            reuse_prefill=False,
+            RunConfig(scale=SCALE, reuse_prefill=False),
         )
         # Prime the family snapshot via baseline, then run the real cell
         # through the restore path.
@@ -94,8 +94,12 @@ class TestParallelDeterminism:
         assert serial == parallel
 
     def test_serial_vs_parallel_matrix(self):
-        serial = run_matrix(WORKLOADS, SYSTEMS, scale=SCALE, jobs=1)
-        parallel = run_matrix(WORKLOADS, SYSTEMS, scale=SCALE, jobs=2)
+        serial = run_matrix(
+            WORKLOADS, SYSTEMS, RunConfig(scale=SCALE, jobs=1)
+        )
+        parallel = run_matrix(
+            WORKLOADS, SYSTEMS, RunConfig(scale=SCALE, jobs=2)
+        )
         assert _matrix_digests(serial) == _matrix_digests(parallel)
         # Ordered collection: nested dict layout matches the request.
         assert tuple(parallel) == WORKLOADS
@@ -133,8 +137,7 @@ class TestMatrixWiring:
             run_matrix(
                 ("web",),
                 ("baseline",),
-                scale=SCALE,
-                jobs=2,
+                RunConfig(scale=SCALE, jobs=2),
                 observer_factory=lambda w, s: object(),
             )
 
@@ -149,7 +152,7 @@ class TestMatrixWiring:
             return sampler
 
         run_matrix(
-            ("web",), ("baseline", "mq-dvp"), scale=SCALE,
+            ("web",), ("baseline", "mq-dvp"), RunConfig(scale=SCALE),
             observer_factory=factory,
         )
         assert set(samplers) == {("web", "baseline"), ("web", "mq-dvp")}
@@ -157,9 +160,9 @@ class TestMatrixWiring:
             assert sampler.sample_count > 0
 
     def test_queue_depth_reaches_cells(self):
-        deep = run_matrix(("web",), ("baseline",), scale=SCALE)
+        deep = run_matrix(("web",), ("baseline",), RunConfig(scale=SCALE))
         shallow = run_matrix(
-            ("web",), ("baseline",), scale=SCALE, queue_depth=1
+            ("web",), ("baseline",), RunConfig(scale=SCALE, queue_depth=1)
         )
         assert result_digest(deep["web"]["baseline"]) != result_digest(
             shallow["web"]["baseline"]

@@ -11,7 +11,7 @@ import json
 import pytest
 
 from repro.perf.bench import run_benchmark, write_benchmark
-from repro.perf.parallel import resolve_jobs, run_specs
+from repro.perf.parallel import pool_chunksize, resolve_jobs, run_specs
 from repro.perf.spec import RunSpec, result_digest
 
 SCALE = 0.004
@@ -79,3 +79,36 @@ class TestResolveJobs:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             resolve_jobs(-1)
+
+    def test_capped_at_task_count(self):
+        # A fleet of 4 long-lived shards can never keep 16 workers busy.
+        assert resolve_jobs(16, tasks=4) == 4
+        assert resolve_jobs(2, tasks=4) == 2
+        assert resolve_jobs(0, tasks=1) == 1
+
+    def test_task_cap_ignored_when_not_positive(self):
+        assert resolve_jobs(3, tasks=0) == 3
+        assert resolve_jobs(3, tasks=None) == 3
+
+
+class TestPoolChunksize:
+    def test_no_idle_workers_on_uneven_split(self):
+        # The old ceil division gave 6 tasks / 4 workers chunksize 2 —
+        # three chunks, one worker idle for the whole run.  Floor keeps
+        # everyone busy.
+        assert pool_chunksize(6, 4) == 1
+
+    def test_exact_division_amortises_dispatch(self):
+        assert pool_chunksize(8, 4) == 2
+        assert pool_chunksize(4, 4) == 1
+
+    def test_never_below_one(self):
+        assert pool_chunksize(2, 4) == 1
+        assert pool_chunksize(0, 4) == 1
+        assert pool_chunksize(5, 0) == 1
+
+    def test_long_lived_shard_shape(self):
+        # One chunk per worker when shards == workers: each worker owns
+        # exactly one long-lived shard.
+        for shards in (2, 4, 8):
+            assert pool_chunksize(shards, shards) == 1

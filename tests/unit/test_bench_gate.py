@@ -8,7 +8,7 @@ and sub-1× speedups that are not explicitly marked ``serial_fallback``
 
 import copy
 
-from benchmarks.perf.harness import gate
+from benchmarks.perf.harness import gate, gate_fleet
 
 SCHEMA = "repro.perf.bench_matrix/v1"
 
@@ -141,3 +141,73 @@ class TestBenchGate:
         failures = gate(_report(), tracked, 0.15)
         assert len(failures) == 1
         assert "schema" in failures[0]
+
+
+def _fleet_section(**overrides):
+    base = {
+        "workload": "mail",
+        "system": "mq-dvp",
+        "shards": 4,
+        "scale": 0.2,
+        "jobs": 4,
+        "serial_fallback": False,
+        "speedup": 2.7,
+        "identical_results": True,
+        "shard_digests": ["e" * 64] * 4,
+        "fleet_digest": "f" * 64,
+    }
+    base.update(overrides)
+    return base
+
+
+class TestFleetGate:
+    def test_clean_fleet_passes(self):
+        assert gate_fleet(_fleet_section(), _fleet_section()) == []
+
+    def test_nonidentical_shard_digests_fail(self):
+        failures = gate_fleet(
+            _fleet_section(identical_results=False), _fleet_section()
+        )
+        assert any("shard digests" in f for f in failures)
+
+    def test_sub_unity_speedup_without_marker_fails(self):
+        failures = gate_fleet(
+            _fleet_section(speedup=0.8), _fleet_section()
+        )
+        assert any("serial_fallback" in f for f in failures)
+
+    def test_serial_fallback_excuses_missing_speedup(self):
+        fresh = _fleet_section(serial_fallback=True, speedup=None)
+        assert gate_fleet(fresh, _fleet_section()) == []
+
+    def test_fleet_digest_drift_fails(self):
+        fresh = _fleet_section(fleet_digest="0" * 64)
+        failures = gate_fleet(fresh, _fleet_section())
+        assert any("drifted" in f for f in failures)
+
+    def test_different_fleet_shape_skips_digest_comparison(self):
+        fresh = _fleet_section(shards=8, fleet_digest="0" * 64)
+        assert gate_fleet(fresh, _fleet_section()) == []
+
+    def test_new_fleet_section_has_no_tracked_digest(self):
+        assert gate_fleet(_fleet_section(), None) == []
+
+    def test_speedup_floor_applies_only_with_enough_cores(self, monkeypatch):
+        import benchmarks.perf.harness as harness_mod
+
+        fresh = _fleet_section(speedup=1.4)  # real but weak speedup
+        monkeypatch.setattr(harness_mod.os, "cpu_count", lambda: 2)
+        assert gate_fleet(fresh, _fleet_section()) == []
+        monkeypatch.setattr(harness_mod.os, "cpu_count", lambda: 8)
+        failures = gate_fleet(fresh, _fleet_section())
+        assert any("< 2.0" in f for f in failures)
+
+    def test_gate_includes_fleet_section(self):
+        fresh = _report(fleet=_fleet_section(identical_results=False))
+        tracked = _report(fleet=_fleet_section())
+        failures = gate(fresh, tracked, 0.15)
+        assert any("fleet" in f for f in failures)
+
+    def test_gate_tolerates_tracked_report_without_fleet(self):
+        fresh = _report(fleet=_fleet_section())
+        assert gate(fresh, _report(), 0.15) == []

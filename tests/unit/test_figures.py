@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.experiments.config import RunConfig
 from repro.experiments.figures import (
     ALL_WORKLOADS,
     EvaluationMatrix,
@@ -59,7 +60,7 @@ class TestTables:
 class TestEvaluationMatrix:
     @pytest.fixture(scope="class")
     def matrix(self):
-        return EvaluationMatrix(scale=SCALE)
+        return EvaluationMatrix(RunConfig(scale=SCALE))
 
     def test_runs_are_cached(self, matrix):
         first = matrix.run("desktop", "baseline")

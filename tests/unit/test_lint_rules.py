@@ -306,6 +306,46 @@ def test_no_experiments_fires_for_sim_and_ftl(tmp_path):
     assert codes_of(result) == ["layer.no-experiments"]
 
 
+def test_core_purity_covers_fleet(tmp_path):
+    result = lint_sources(tmp_path, {
+        "repro/core/bad.py": """
+            from repro.fleet import FleetSpec
+
+            def f():
+                return FleetSpec
+        """,
+    }, select=["layer.core-purity"])
+    assert codes_of(result) == ["layer.core-purity"]
+
+
+def test_no_experiments_covers_fleet(tmp_path):
+    result = lint_sources(tmp_path, {
+        "repro/sim/bad.py": """
+            def f():
+                from repro.fleet import run_fleet
+                return run_fleet
+        """,
+        "repro/ftl/bad.py": """
+            from repro.fleet.ring import HashRing
+        """,
+    }, select=["layer.no-experiments"])
+    assert len(result.violations) == 2
+    assert codes_of(result) == ["layer.no-experiments"]
+
+
+def test_fleet_may_import_harness_and_device_layers(tmp_path):
+    result = lint_sources(tmp_path, {
+        "repro/fleet/good.py": """
+            from repro.experiments.device import Device
+            from repro.sim.metrics import RunResult
+
+            def f():
+                return Device, RunResult
+        """,
+    }, select=["layer.no-experiments", "layer.core-purity"])
+    assert result.clean
+
+
 def test_type_checking_imports_exempt(tmp_path):
     result = lint_sources(tmp_path, {
         "repro/sim/good.py": """

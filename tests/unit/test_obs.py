@@ -6,7 +6,7 @@ import json
 import pytest
 
 from repro.cli import main
-from repro.experiments.runner import ExperimentContext, run_system
+from repro.experiments.runner import ExperimentContext, RunConfig, run_system
 from repro.obs import (
     JsonlWriter,
     MetricRegistry,
@@ -141,7 +141,9 @@ def obs_run():
     """One small mq-dvp run with a fine-grained sampler attached."""
     context = ExperimentContext.for_workload("mail", 0.02)
     sampler = TimeSeriesSampler(interval_requests=100)
-    result = run_system("mq-dvp", context, 200_000, 0.02, observer=sampler)
+    result = run_system("mq-dvp", context, RunConfig(
+        paper_pool_entries=200_000, scale=0.02, observer=sampler,
+    ))
     return result, sampler
 
 
@@ -201,7 +203,9 @@ class TestTimeTrigger:
         sampler = TimeSeriesSampler(
             interval_requests=None, interval_us=50_000.0
         )
-        run_system("mq-dvp", context, 200_000, 0.02, observer=sampler)
+        run_system("mq-dvp", context, RunConfig(
+            paper_pool_entries=200_000, scale=0.02, observer=sampler,
+        ))
         assert sampler.sample_count >= 2
         for earlier, later in zip(sampler.samples, sampler.samples[1:]):
             assert later["t_us"] >= earlier["t_us"]
@@ -213,8 +217,11 @@ class TestRegistryAndTracerIntegration:
         registry = MetricRegistry()
         sampler = TimeSeriesSampler(interval_requests=500, registry=registry)
         run_system(
-            "adaptive-dvp", context, 200_000, 0.02,
-            observer=sampler, registry=registry,
+            "adaptive-dvp", context,
+            RunConfig(
+                paper_pool_entries=200_000, scale=0.02,
+                observer=sampler, registry=registry,
+            ),
         )
         metrics = sampler.samples[-1]["metrics"]
         assert "ftl.free_blocks" in metrics
@@ -226,7 +233,9 @@ class TestRegistryAndTracerIntegration:
         # 0.05 is the smallest mail scale that reliably triggers GC.
         context = ExperimentContext.for_workload("mail", 0.05)
         tracer = Tracer()
-        run_system("mq-dvp", context, 200_000, 0.05, tracer=tracer)
+        run_system("mq-dvp", context, RunConfig(
+            paper_pool_entries=200_000, scale=0.05, tracer=tracer,
+        ))
         summary = tracer.summary()
         assert "ftl.write" in summary
         assert "ftl.read" in summary

@@ -84,49 +84,41 @@ class TestRunConfig:
         assert back.faults == cfg.faults
 
 
-class TestLegacyKwargs:
-    def test_run_system_legacy_kwargs_warn(self, web_context):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            legacy = run_system(
-                "baseline", web_context, paper_pool_entries=100_000
-            )
-        modern = run_system(
+class TestLegacyKwargsRemoved:
+    """The PR 3 one-release deprecation window is over: the flat kwarg
+    surface is gone, and anything but a RunConfig raises TypeError."""
+
+    def test_run_system_rejects_legacy_kwargs(self, web_context):
+        with pytest.raises(TypeError):
+            run_system("baseline", web_context, paper_pool_entries=100_000)
+
+    def test_run_system_rejects_positional_non_config(self, web_context):
+        # Old call shapes: run_system(system, context, pool_entries) and
+        # run_system(system, context, scale).
+        with pytest.raises(TypeError, match="RunConfig"):
+            run_system("baseline", web_context, 100_000)
+        with pytest.raises(TypeError, match="RunConfig"):
+            run_system("baseline", web_context, SCALE)
+
+    def test_run_system_accepts_config(self, web_context):
+        result = run_system(
             "baseline",
             web_context,
             config=RunConfig(paper_pool_entries=100_000, scale=SCALE),
         )
-        assert legacy.summary() == modern.summary()
-
-    def test_run_system_legacy_positional_scale(self, web_context):
-        # Old call shape: run_system(system, context, scale).
-        with pytest.warns(DeprecationWarning):
-            result = run_system("baseline", web_context, SCALE)
         assert result.counters.host_writes > 0
 
-    def test_run_system_rejects_mixed_styles(self, web_context):
-        with pytest.raises(TypeError, match="legacy"):
-            run_system(
-                "baseline",
-                web_context,
-                config=RunConfig(scale=SCALE),
-                paper_pool_entries=100_000,
-            )
+    def test_run_matrix_rejects_legacy_scale(self):
+        with pytest.raises(TypeError):
+            run_matrix(["web"], ["baseline"], scale=SCALE)
+        with pytest.raises(TypeError, match="RunConfig"):
+            run_matrix(["web"], ["baseline"], SCALE)
 
-    def test_run_matrix_legacy_scale_warns(self):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            legacy = run_matrix(["web"], ["baseline"], scale=SCALE)
-        modern = run_matrix(
-            ["web"], ["baseline"], config=RunConfig(scale=SCALE)
-        )
-        assert (
-            legacy["web"]["baseline"].summary()
-            == modern["web"]["baseline"].summary()
-        )
-
-    def test_evaluation_matrix_legacy_scale_warns(self):
-        with pytest.warns(DeprecationWarning, match="RunConfig"):
-            matrix = EvaluationMatrix(scale=SCALE)
-        assert matrix.config.scale == SCALE
+    def test_evaluation_matrix_rejects_legacy_scale(self):
+        with pytest.raises(TypeError):
+            EvaluationMatrix(scale=SCALE)
+        with pytest.raises(TypeError, match="RunConfig"):
+            EvaluationMatrix(SCALE)
 
     def test_evaluation_matrix_accepts_config_positionally(self):
         matrix = EvaluationMatrix(RunConfig(scale=SCALE, jobs=2))

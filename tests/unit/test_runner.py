@@ -4,6 +4,7 @@ import pytest
 
 from repro.experiments.runner import (
     ExperimentContext,
+    RunConfig,
     config_for_profile,
     prefill,
     run_system,
@@ -82,7 +83,7 @@ class TestRunSystem:
         )
 
     def test_baseline_run_counts_all_requests(self, context):
-        result = run_system("baseline", context, scale=0.01)
+        result = run_system("baseline", context, RunConfig(scale=0.01))
         counters = result.counters
         assert (
             counters.host_writes + counters.host_reads
@@ -90,12 +91,12 @@ class TestRunSystem:
         )
 
     def test_dvp_run_short_circuits(self, context):
-        result = run_system("mq-dvp", context, 200_000, scale=0.05)
+        result = run_system("mq-dvp", context, RunConfig(paper_pool_entries=200_000, scale=0.05))
         assert result.counters.short_circuits > 0
         assert result.pool_stats is not None
 
     def test_results_are_labelled(self, context):
-        result = run_system("baseline", context, scale=0.01)
+        result = run_system("baseline", context, RunConfig(scale=0.01))
         assert result.system == "baseline"
         assert result.workload == context.profile.name
 
@@ -106,8 +107,8 @@ class TestRunSystem:
         assert context.config.logical_pages >= context.profile.total_pages
 
     def test_deterministic_across_runs(self, context):
-        a = run_system("mq-dvp", context, 200_000, scale=0.05)
-        b = run_system("mq-dvp", context, 200_000, scale=0.05)
+        a = run_system("mq-dvp", context, RunConfig(paper_pool_entries=200_000, scale=0.05))
+        b = run_system("mq-dvp", context, RunConfig(paper_pool_entries=200_000, scale=0.05))
         assert a.summary() == b.summary()
 
 
@@ -115,7 +116,7 @@ class TestRunnerAgainstPaperWorkload(object):
     def test_small_scale_mail_improves_over_baseline(self):
         """End-of-pipe sanity: on mail, the proposal must beat baseline."""
         context = ExperimentContext.for_workload("mail", 0.05)
-        base = run_system("baseline", context, scale=0.05)
-        dvp = run_system("mq-dvp", context, 200_000, scale=0.05)
+        base = run_system("baseline", context, RunConfig(scale=0.05))
+        dvp = run_system("mq-dvp", context, RunConfig(paper_pool_entries=200_000, scale=0.05))
         assert dvp.flash_writes < base.flash_writes
         assert dvp.mean_latency_us < base.mean_latency_us
