@@ -1,0 +1,24 @@
+# repro-serve: the streaming multi-tenant trace service, containerised.
+#
+# The package is pure stdlib, so the image is just a slim Python plus
+# the src tree.  Configuration comes from REPRO_SERVE_* environment
+# variables (see src/repro/serve/config.py); `docker stop` sends
+# SIGTERM, which the server turns into a graceful drain — every tenant
+# session is checkpointed into the volume before the process exits 0.
+
+FROM python:3.12-slim
+
+WORKDIR /app
+COPY src/ src/
+ENV PYTHONPATH=/app/src \
+    PYTHONUNBUFFERED=1 \
+    REPRO_SERVE_HOST=0.0.0.0 \
+    REPRO_SERVE_PORT=9911 \
+    REPRO_SERVE_CHECKPOINT_DIR=/data/checkpoints
+
+VOLUME /data
+EXPOSE 9911
+
+# PID 1 must receive the SIGTERM itself (no shell wrapper), so the
+# drain-and-checkpoint path runs on `docker stop`.
+ENTRYPOINT ["python", "-m", "repro.serve.entrypoint"]

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check perf-smoke fleet-smoke bench figures
+.PHONY: test lint check perf-smoke fleet-smoke serve-smoke bench figures
 
 test: lint check
 	$(PYTHON) -m pytest -q
@@ -43,6 +43,12 @@ perf-smoke:
 # routing/partition coverage.  Part of the plain suite too.
 fleet-smoke:
 	$(PYTHON) -m pytest -q -m fleet_smoke
+
+# Serve smoke: three tenants stream small traces through the socket
+# service, final digests must equal the batch runs, a SIGTERM'd server
+# checkpoints every session and a restart resumes them bit-exact.
+serve-smoke:
+	$(PYTHON) -m pytest -q -m serve_smoke
 
 # Refresh the tracked perf report (serial vs parallel canonical matrix
 # plus the fleet section: long-lived shards, pool-mode comparison).

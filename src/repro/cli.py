@@ -28,15 +28,25 @@ Commands
     dead-value pools with the shared-pool upper bound.
 ``bench``
     Time the canonical matrix and refresh ``BENCH_matrix.json``.
+``serve``
+    Run the streaming multi-tenant trace service (:mod:`repro.serve`):
+    tenants stream JSONL trace traffic over a socket, sessions
+    checkpoint/resume, and every response carries the unified schema.
 ``lint``
     Run the repo's AST-based determinism/layering linter
     (:mod:`repro.lint`) over the given paths.
 
 All output goes to stdout; ``--json`` switches machine-readable output
-where applicable.  Commands that fan out over independent cells
+where applicable — always one ``repro.api/v1``
+:class:`~repro.api.ResultRecord` shape (or a mapping of them), the
+same schema the obs/fleet JSONL exporters, the bench harness and the
+serve responses emit.  Commands that fan out over independent cells
 (``compare``, ``replicate``, ``matrix``, ``bench``) take ``--jobs N``
 (0 = all cores); parallel results are bit-identical to ``--jobs 1``.
-Exit code 0 on success, 2 on usage errors.
+Shared flag groups (``--scale``, ``--jobs``, ``--seed``, the
+``--check`` trio, the fault probabilities, the ``--obs`` pair) are
+declared once in :mod:`repro.cliopts` and reused verbatim across
+subcommands.  Exit code 0 on success, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -53,9 +63,22 @@ from .analysis.characterize import (
     value_cdfs,
 )
 from .analysis.report import render_table
+from .api import record_from_run
+from .cliopts import (
+    add_check_flags,
+    add_fault_flags,
+    add_jobs,
+    add_obs_flags,
+    add_scale,
+    add_seed,
+    build_obs,
+    check_kwargs,
+    fault_config,
+    fault_config_or_none,
+)
 from .experiments import figures as figures_mod
 from .experiments.figures import EvaluationMatrix
-from .experiments.config import DEFAULT_SCALE, RunConfig
+from .experiments.config import RunConfig
 from .experiments.replication import paired_improvement
 from .experiments.runner import ExperimentContext, run_system
 from .ftl.dvp_ftl import SYSTEMS
@@ -90,74 +113,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_common(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--scale", type=float, default=DEFAULT_SCALE,
-                       help=f"workload scale (default {DEFAULT_SCALE})")
-
-    def add_jobs(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--jobs", type=int, default=1, metavar="N",
-            help="worker processes for independent cells "
-                 "(default 1 = serial, 0 = all cores)",
-        )
-
-    def add_check(p: argparse.ArgumentParser) -> None:
-        p.add_argument(
-            "--check", action="store_true",
-            help="run the correctness harness in lockstep: full invariant "
-                 "audits plus the dict-based oracle FTL cross-checking "
-                 "every read, revival and trim (see DESIGN.md)",
-        )
-        p.add_argument(
-            "--check-interval", type=int, default=None, metavar="N",
-            help="events between full invariant audits (implies --check; "
-                 "default 1000)",
-        )
-        p.add_argument(
-            "--trim-every", type=int, default=0, metavar="N",
-            help="inject a TRIM after every Nth write (0 = none); "
-                 "changes the trace, so results differ from the "
-                 "untrimmed run by construction",
-        )
-
-    def add_fault_flags(p: argparse.ArgumentParser) -> None:
-        p.add_argument("--seed", type=int, default=0,
-                       help="fault-stream seed (default 0)")
-        p.add_argument("--program-failure-prob", type=float, default=0.0,
-                       metavar="P", help="per-program failure probability")
-        p.add_argument("--erase-failure-prob", type=float, default=0.0,
-                       metavar="P", help="per-erase failure probability")
-        p.add_argument("--read-error-prob", type=float, default=0.0,
-                       metavar="P", help="per-read ECC-retry probability")
-        p.add_argument("--crash-after", type=int, default=None, metavar="N",
-                       help="power loss after N serviced host requests")
-
     run_p = sub.add_parser("run", help="simulate one system on one workload")
     run_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
     run_p.add_argument("--system", choices=sorted(SYSTEMS), required=True)
     run_p.add_argument("--pool", type=int, default=200_000,
                        help="pool size in paper-label entries (default 200K)")
     run_p.add_argument("--json", action="store_true")
-    run_p.add_argument(
-        "--obs", metavar="PATH", default=None,
-        help="write a JSONL time series of internal state to PATH "
-             "(see DESIGN.md, 'Observability')",
-    )
-    run_p.add_argument(
-        "--obs-interval", type=int, default=1000, metavar="N",
-        help="sample every N completed host requests (default 1000)",
-    )
-    run_p.add_argument(
-        "--obs-interval-us", type=float, default=None, metavar="M",
-        help="also sample every M simulated microseconds",
-    )
+    add_obs_flags(run_p)
     run_p.add_argument(
         "--profile", action="store_true",
         help="trace wall-clock spans (FTL write/read, GC) and print them",
     )
-    add_check(run_p)
+    add_check_flags(run_p)
     add_fault_flags(run_p)
-    add_common(run_p)
+    add_scale(run_p)
 
     cmp_p = sub.add_parser("compare", help="compare systems on one workload")
     cmp_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
@@ -166,26 +135,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated system names (first is the reference)",
     )
     cmp_p.add_argument("--pool", type=int, default=200_000)
-    add_check(cmp_p)
-    add_common(cmp_p)
+    add_check_flags(cmp_p)
+    add_scale(cmp_p)
     add_jobs(cmp_p)
 
     fig_p = sub.add_parser("figure", help="regenerate one paper artifact")
     fig_p.add_argument("id", choices=sorted(FIGURES))
-    add_common(fig_p)
+    add_scale(fig_p)
 
     chr_p = sub.add_parser(
         "characterize", help="Section II analysis for one workload"
     )
     chr_p.add_argument("--workload", choices=sorted(PROFILES), required=True)
-    add_common(chr_p)
+    add_scale(chr_p)
 
     report_p = sub.add_parser(
         "report", help="regenerate every artifact into one document"
     )
     report_p.add_argument("--out", default=None,
                           help="write to this file instead of stdout")
-    add_common(report_p)
+    add_scale(report_p)
 
     rep_p = sub.add_parser(
         "replicate", help="multi-seed improvement statistics"
@@ -195,7 +164,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--metric", default="flash_writes")
     rep_p.add_argument("--seeds", default="1,2,3",
                        help="comma-separated seeds")
-    add_common(rep_p)
+    add_scale(rep_p)
     add_jobs(rep_p)
 
     mat_p = sub.add_parser(
@@ -214,7 +183,7 @@ def build_parser() -> argparse.ArgumentParser:
     mat_p.add_argument("--queue-depth", type=int, default=None,
                        help="device queue depth (default: config value)")
     mat_p.add_argument("--json", action="store_true")
-    add_common(mat_p)
+    add_scale(mat_p)
     add_jobs(mat_p)
 
     flt_p = sub.add_parser(
@@ -226,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     flt_p.add_argument("--pool", type=int, default=200_000,
                        help="pool size in paper-label entries (default 200K)")
     add_fault_flags(flt_p)
-    add_check(flt_p)
+    add_check_flags(flt_p)
     flt_p.add_argument(
         "--recovery", action="store_true",
         help="run the crash-recovery warmup experiment instead "
@@ -242,7 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="--recovery: sampling window in host requests (default 2000)",
     )
     flt_p.add_argument("--json", action="store_true")
-    add_common(flt_p)
+    add_scale(flt_p)
 
     fleet_p = sub.add_parser(
         "fleet",
@@ -267,19 +236,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="run both pool modes and report aggregate flash programs "
              "for each (overrides --pool-mode)",
     )
-    fleet_p.add_argument("--seed", type=int, default=None,
-                         help="trace-generator seed override")
+    add_seed(fleet_p, default=None, help="trace-generator seed override")
     fleet_p.add_argument(
         "--check", action="store_true",
         help="attach the invariant checker + lockstep oracle to every "
              "shard (digests are identical with and without it)",
     )
-    fleet_p.add_argument(
-        "--obs", metavar="PATH", default=None,
-        help="write per-shard + fleet JSONL records to PATH",
-    )
+    add_obs_flags(fleet_p, intervals=False,
+                  help="write per-shard + fleet JSONL records to PATH")
     fleet_p.add_argument("--json", action="store_true")
-    add_common(fleet_p)
+    add_scale(fleet_p)
     add_jobs(fleet_p)
 
     bench_p = sub.add_parser(
@@ -303,6 +269,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=0, metavar="N",
         help="workers for the parallel leg (default 0 = all cores)",
     )
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="streaming multi-tenant trace service (see DESIGN.md §12)",
+    )
+    serve_p.add_argument("--host", default=None,
+                         help="bind address (default 127.0.0.1, or "
+                              "REPRO_SERVE_HOST)")
+    serve_p.add_argument("--port", type=int, default=None,
+                         help="TCP port, 0 = ephemeral (default 9911, or "
+                              "REPRO_SERVE_PORT)")
+    serve_p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                         help="directory for session checkpoints; enables "
+                              "kill/resume (default: none)")
+    serve_p.add_argument("--max-sessions", type=int, default=None, metavar="N",
+                         help="concurrent tenant session cap (default 64)")
+    serve_p.add_argument("--batch-requests", type=int, default=None,
+                         metavar="N",
+                         help="default per-tenant step batch size "
+                              "(default 256; open messages may override)")
+    serve_p.add_argument("--checkpoint-every", type=int, default=None,
+                         metavar="N",
+                         help="checkpoint a session every N serviced "
+                              "requests (default: only on detach/drain)")
+    add_obs_flags(serve_p, intervals=False,
+                  help="append every serve.metrics/serve.session record "
+                       "to PATH as JSONL")
+    add_jobs(serve_p, help="simulation worker threads "
+                           "(default 1, 0 = all cores)")
+    add_seed(serve_p, default=None,
+             help="default trace-generator seed for sessions that do "
+                  "not pick one (default: profile seed)")
+    add_check_flags(serve_p)
 
     lint_p = sub.add_parser(
         "lint",
@@ -351,74 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _check_kwargs(args: argparse.Namespace) -> dict:
-    """RunConfig kwargs from the shared ``--check`` flag group.
-
-    ``--check`` (or an explicit ``--check-interval``) turns on both the
-    invariant audits and the lockstep oracle; ``--trim-every`` passes
-    through unconditionally since it is a trace transform, not a check.
-    """
-    kwargs: dict = {"trim_every": args.trim_every}
-    if args.check or args.check_interval is not None:
-        kwargs["oracle"] = True
-        kwargs["check_interval"] = args.check_interval
-    return kwargs
-
-
-def _fault_config_or_none(args: argparse.Namespace):
-    """A FaultConfig when any fault flag was actually used, else None.
-
-    ``run`` must stay digest-identical to older builds when no fault
-    flag is given, so (unlike ``faults``, which always attaches the
-    fault model) an all-default flag set yields the perfect device.
-    """
-    if (
-        args.program_failure_prob == 0.0
-        and args.erase_failure_prob == 0.0
-        and args.read_error_prob == 0.0
-        and args.crash_after is None
-    ):
-        return None
-    from .faults import FaultConfig
-
-    return FaultConfig(
-        seed=args.seed,
-        program_failure_prob=args.program_failure_prob,
-        erase_failure_prob=args.erase_failure_prob,
-        read_error_prob=args.read_error_prob,
-        crash_after_requests=args.crash_after,
-    )
-
-
 def _cmd_run(args: argparse.Namespace) -> int:
     context = ExperimentContext.for_workload(args.workload, args.scale)
     try:
-        fault_config = _fault_config_or_none(args)
+        faults = fault_config_or_none(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    observer = writer = registry = tracer = None
-    if args.obs:
-        from .obs import JsonlWriter, MetricRegistry, TimeSeriesSampler
-
-        registry = MetricRegistry()
-        try:
-            # Validate the cadence before opening the output file so a
-            # bad flag value does not leave an empty JSONL behind.
-            observer = TimeSeriesSampler(
-                interval_requests=args.obs_interval,
-                interval_us=args.obs_interval_us,
-                registry=registry,
-            )
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        try:
-            writer = JsonlWriter(args.obs)
-        except OSError as exc:
-            print(f"error: cannot open --obs file: {exc}", file=sys.stderr)
-            return 2
-        observer.sink = writer
+    obs = build_obs(args)
+    if obs is None:
+        return 2
+    tracer = None
     if args.profile:
         from .obs import Tracer
 
@@ -428,25 +370,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             args.system, context,
             config=RunConfig(
                 paper_pool_entries=args.pool, scale=args.scale,
-                observer=observer, registry=registry, tracer=tracer,
-                faults=fault_config, **_check_kwargs(args),
+                observer=obs.observer, registry=obs.registry, tracer=tracer,
+                faults=faults, **check_kwargs(args),
             ),
         )
     finally:
-        if writer is not None:
-            writer.close()
-    summary = result.summary()
+        obs.close()
     if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
+        record = record_from_run(result)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     else:
+        summary = result.summary()
         rows = [(k, v) for k, v in sorted(summary.items())]
         print(render_table(
             ["metric", "value"], rows,
             title=f"{args.system} on {args.workload} (scale {args.scale})",
         ))
-    if observer is not None:
-        print(f"observability: {observer.sample_count} samples -> {args.obs}",
-              file=sys.stderr)
+    if obs.observer is not None:
+        print(f"observability: {obs.observer.sample_count} samples "
+              f"-> {args.obs}", file=sys.stderr)
     if tracer is not None:
         print(render_table(
             ["span", "count", "total (s)", "mean (us)", "max (us)"],
@@ -469,7 +411,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     if unknown:
         print(f"unknown systems: {', '.join(unknown)}", file=sys.stderr)
         return 2
-    check = _check_kwargs(args)
+    check = check_kwargs(args)
     specs = [
         RunSpec(
             workload=args.workload,
@@ -590,7 +532,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
     if args.json:
         payload = {
             workload: {
-                system: result.summary()
+                system: record_from_run(result).to_dict()
                 for system, result in by_system.items()
             }
             for workload, by_system in results.items()
@@ -620,8 +562,6 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from .faults import FaultConfig
-
     if args.recovery:
         from .experiments.recovery import run_recovery_experiment
 
@@ -667,13 +607,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
               f"final gap {result.final_gap:+.4f}", file=sys.stderr)
         return 0
     try:
-        fault_config = FaultConfig(
-            seed=args.seed,
-            program_failure_prob=args.program_failure_prob,
-            erase_failure_prob=args.erase_failure_prob,
-            read_error_prob=args.read_error_prob,
-            crash_after_requests=args.crash_after,
-        )
+        faults = fault_config(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -682,14 +616,15 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         args.system, context,
         config=RunConfig(
             paper_pool_entries=args.pool, scale=args.scale,
-            faults=fault_config, **_check_kwargs(args),
+            faults=faults, **check_kwargs(args),
         ),
     )
-    summary = dict(result.summary())
-    summary.update(result.fault_summary())
     if args.json:
-        print(json.dumps(summary, indent=2, sort_keys=True))
+        record = record_from_run(result)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
     else:
+        summary = dict(result.summary())
+        summary.update(result.fault_summary())
         rows = [(k, v) for k, v in sorted(summary.items())]
         print(render_table(
             ["metric", "value"], rows,
@@ -755,7 +690,10 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         print(f"fleet export: {records} records -> {args.obs}",
               file=sys.stderr)
     if args.json:
-        print(json.dumps(result.summary(), indent=2, sort_keys=True))
+        from .api import records_from_fleet
+
+        record = records_from_fleet(result)[-1]
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
         return 0
     summary = result.summary()
     rows = [(k, v) for k, v in sorted(summary.items())]
@@ -770,6 +708,43 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     )
     print(f"per-shard requests: {per_shard}", file=sys.stderr)
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from dataclasses import replace
+
+    from .serve import run_server, settings_from_env
+
+    if args.trim_every:
+        print("error: --trim-every is a trace transform; serve receives "
+              "the trace from its tenants, so apply it client-side",
+              file=sys.stderr)
+        return 2
+    overrides = {
+        "host": args.host,
+        "port": args.port,
+        "checkpoint_dir": args.checkpoint_dir,
+        "obs_path": args.obs,
+        "max_sessions": args.max_sessions,
+        "batch_requests": args.batch_requests,
+        "checkpoint_every": args.checkpoint_every,
+        "default_seed": args.seed,
+        "check_interval": args.check_interval,
+    }
+    if args.jobs != 1:
+        overrides["jobs"] = args.jobs
+    if args.check or args.check_interval is not None:
+        overrides["oracle"] = True
+    try:
+        settings = replace(
+            settings_from_env(),
+            **{k: v for k, v in overrides.items() if v is not None},
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return asyncio.run(run_server(settings))
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -900,6 +875,7 @@ COMMANDS = {
     "matrix": _cmd_matrix,
     "faults": _cmd_faults,
     "fleet": _cmd_fleet,
+    "serve": _cmd_serve,
     "bench": _cmd_bench,
     "lint": _cmd_lint,
 }

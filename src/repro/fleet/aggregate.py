@@ -174,20 +174,16 @@ class FleetResult:
         }
 
     def export_jsonl(self, writer: "JsonlWriter") -> int:
-        """Write one record per shard plus the fleet record; returns the
-        record count.  ``writer`` is a :class:`repro.obs.JsonlWriter`
-        (or any callable-compatible sink with a ``write`` method)."""
-        for index, result in enumerate(self.shard_results):
-            record = {"kind": "shard", "shard": index}
-            record.update(result.summary())
-            record["system"] = result.system
-            record["workload"] = result.workload
-            record["digest"] = self.shard_digests[index]
-            writer.write(record)
-        fleet_record = {"kind": "fleet"}
-        fleet_record.update(self.summary())
-        writer.write(fleet_record)
-        return len(self.shard_results) + 1
+        """Write one unified ``repro.api/v1`` record per shard plus the
+        fleet aggregate record; returns the record count.  ``writer`` is
+        a :class:`repro.obs.JsonlWriter` (or any sink with a ``write``
+        method)."""
+        from ..api import records_from_fleet  # runtime: api sits above
+
+        records = records_from_fleet(self)
+        for record in records:
+            writer.write(record.to_dict())
+        return len(records)
 
 
 def aggregate_fleet(

@@ -46,7 +46,7 @@ from __future__ import annotations
 import math
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.hashing import fingerprint_of_value
 from ..experiments.config import DEFAULT_SCALE, RunConfig
@@ -62,6 +62,7 @@ from .ring import HashRing
 __all__ = [
     "FleetSpec",
     "ShardSpec",
+    "build_shard_device",
     "execute_shard",
     "run_fleet",
     "compare_pool_modes",
@@ -122,6 +123,21 @@ class FleetSpec:
             return fleet_budget
         return max(64, fleet_budget // self.shards)
 
+    def shard_run_config(self) -> RunConfig:
+        """The per-shard :class:`RunConfig` this spec attaches.
+
+        Public because the serve layer builds the same per-shard devices
+        for streamed sessions; sharing the rule here keeps a streamed
+        shard and a batch :func:`execute_shard` shard bit-identical.
+        """
+        return RunConfig(
+            paper_pool_entries=self.paper_pool_entries,
+            scale=self.scale,
+            queue_depth=self.queue_depth,
+            check_interval=self.check_interval,
+            oracle=self.oracle,
+        )
+
     def shard(self, index: int) -> "ShardSpec":
         if not 0 <= index < self.shards:
             raise ValueError(f"shard index {index} out of range")
@@ -139,14 +155,37 @@ class ShardSpec:
         return f"{workload_name}/shard{self.index}of{self.fleet.shards}"
 
 
-def _shard_run_config(fleet: FleetSpec) -> RunConfig:
-    return RunConfig(
-        paper_pool_entries=fleet.paper_pool_entries,
-        scale=fleet.scale,
-        queue_depth=fleet.queue_depth,
-        check_interval=fleet.check_interval,
-        oracle=fleet.oracle,
+def build_shard_device(
+    fleet: FleetSpec,
+    index: int,
+    owners: Sequence[int],
+    fill_fraction: float,
+) -> Tuple[Device, Dict[int, int]]:
+    """Build, precondition and attach one shard's drive.
+
+    Returns the ready device plus the global-LPN → local-page remap for
+    the pages this shard owns.  Shared by the batch path
+    (:func:`execute_shard`) and the serve layer's streamed sessions, so
+    a streamed shard and a batch shard are built bit-identically.
+    """
+    assigned = [lpn for lpn, owner in enumerate(owners) if owner == index]
+    local_of = {lpn: local for local, lpn in enumerate(assigned)}
+
+    # Same slack rule as config_for_profile, on the shard's footprint.
+    # max(1, ...) keeps a pathological empty shard (possible only with
+    # absurdly few pages per shard) buildable; no requests route to it.
+    local_pages = max(1, len(assigned))
+    shard_config = scaled_config(
+        max(1, math.ceil(local_pages / fill_fraction))
     )
+
+    device = Device(fleet.system, shard_config, fleet.shard_pool_entries())
+    device.build()
+    device.precondition_pages(
+        [fingerprint_of_value(initial_value_of(lpn)) for lpn in assigned]
+    )
+    device.attach(fleet.shard_run_config())
+    return device, local_of
 
 
 def execute_shard(spec: ShardSpec) -> RunResult:
@@ -156,26 +195,10 @@ def execute_shard(spec: ShardSpec) -> RunResult:
         fleet.workload, fleet.scale, seed=fleet.seed
     )
     profile = context.profile
-    ring = fleet.ring()
-
-    owners = ring.assignments(profile.total_pages)
-    assigned = [lpn for lpn, owner in enumerate(owners) if owner == spec.index]
-    local_of = {lpn: local for local, lpn in enumerate(assigned)}
-
-    # Same slack rule as config_for_profile, on the shard's footprint.
-    # max(1, ...) keeps a pathological empty shard (possible only with
-    # absurdly few pages per shard) buildable; no requests route to it.
-    local_pages = max(1, len(assigned))
-    shard_config = scaled_config(
-        max(1, math.ceil(local_pages / profile.fill_fraction))
+    owners = fleet.ring().assignments(profile.total_pages)
+    device, local_of = build_shard_device(
+        fleet, spec.index, owners, profile.fill_fraction
     )
-
-    device = Device(fleet.system, shard_config, fleet.shard_pool_entries())
-    device.build()
-    device.precondition_pages(
-        [fingerprint_of_value(initial_value_of(lpn)) for lpn in assigned]
-    )
-    device.attach(_shard_run_config(fleet))
 
     chunk: List = []
     for request in context.trace:

@@ -13,6 +13,10 @@ layers.  Arrows only point downward:
 * ``layer.no-experiments`` — the simulator and FTL never reach up into
   the experiment harness (not even lazily inside a function: the
   dependency is the violation, not the import-time cost);
+* ``layer.no-serve`` — :mod:`repro.serve` is the top of the stack (it
+  orchestrates devices over the network); only the CLI front-end may
+  import it.  Everything below — core, device layers, harnesses, even
+  ``repro.api`` — must never reach up into it;
 * ``layer.cycle`` — no module-level import cycles anywhere.  Lazy
   imports are exempt from *this* rule only, because a function-body
   import genuinely cannot deadlock module initialisation.
@@ -26,7 +30,7 @@ from ..engine import Program
 from ..registry import Rule, register_rule
 from ..violations import Violation
 
-__all__ = ["CorePurityRule", "CycleRule", "NoExperimentsRule"]
+__all__ = ["CorePurityRule", "CycleRule", "NoExperimentsRule", "NoServeRule"]
 
 
 def _in_package(module: str, package: str) -> bool:
@@ -48,6 +52,7 @@ class CorePurityRule(Rule):
     forbidden: Tuple[str, ...] = (
         "repro.sim", "repro.ftl", "repro.experiments",
         "repro.perf", "repro.fleet", "repro.check", "repro.faults",
+        "repro.api", "repro.serve",
     )
 
     def check(self, program: Program) -> Iterator[Violation]:
@@ -93,7 +98,11 @@ class NoExperimentsRule(Rule):
     #: Harness-layer packages the device layers must never reach into.
     #: ``repro.fleet`` sits beside ``repro.experiments``: it orchestrates
     #: many devices, so a device importing it would invert the stack.
-    harness_packages: Tuple[str, ...] = ("repro.experiments", "repro.fleet")
+    #: ``repro.api`` serialises device *results*, so it too sits above
+    #: the device layers.
+    harness_packages: Tuple[str, ...] = (
+        "repro.experiments", "repro.fleet", "repro.api",
+    )
 
     def check(self, program: Program) -> Iterator[Violation]:
         for module in program.modules:
@@ -120,6 +129,42 @@ class NoExperimentsRule(Rule):
                         "layers must not depend on the harness layer "
                         "(invert via a parameter, callback or a type in "
                         "repro.core)"
+                    ),
+                    context="<module>",
+                )
+
+
+@register_rule
+class NoServeRule(Rule):
+    """Only the CLI front-end may import :mod:`repro.serve`."""
+
+    code = "layer.no-serve"
+    summary = "a lower layer importing repro.serve (the top of the stack)"
+
+    #: The only modules allowed to depend on the service layer: the CLI
+    #: that launches it and the shared flag-group helpers it wires up.
+    allowed_modules: Tuple[str, ...] = ("repro.cli", "repro.cliopts")
+
+    def check(self, program: Program) -> Iterator[Violation]:
+        for module in program.modules:
+            if _in_package(module.name, "repro.serve"):
+                continue
+            if module.name in self.allowed_modules:
+                continue
+            for edge in program.import_graph.edges(
+                module.name, include_lazy=True
+            ):
+                if not _targets_package(edge.target, "repro.serve"):
+                    continue
+                yield Violation(
+                    path=module.path,
+                    line=edge.line,
+                    col=edge.col,
+                    code=self.code,
+                    message=(
+                        f"{module.name} imports {edge.target}: repro.serve "
+                        "is the top of the stack; nothing below the CLI "
+                        "may depend on it (emit repro.api records instead)"
                     ),
                     context="<module>",
                 )

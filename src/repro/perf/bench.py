@@ -168,6 +168,8 @@ def run_benchmark(
     serial_digests = [result_digest(result) for result, _ in serial]
     parallel_digests = [result_digest(result) for result in parallel]
 
+    from ..api import record_from_run
+
     cells: List[Dict] = []
     for spec, (result, _), seconds, digest in zip(
         specs, serial, cell_seconds, serial_digests
@@ -180,6 +182,12 @@ def run_benchmark(
                 "serial_seconds": round(seconds, 6),
                 "requests": result.reads.count + result.writes.count,
                 "digest": digest,
+                # The cell's outcome in the unified repro.api/v1 shape.
+                # The regression gate ignores it (timing keys above stay
+                # authoritative), so older reports remain comparable.
+                "record": record_from_run(
+                    result, kind="bench.cell", digest=digest
+                ).to_dict(),
             }
         )
 

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import pickle
 from collections import OrderedDict
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from ..core.dvp import PoolStats
 from ..flash.config import SSDConfig
@@ -38,7 +38,15 @@ from ..ftl.ftl import BaseFTL, FTLCounters
 from ..traces.profiles import WorkloadProfile
 from .trace_cache import profile_cache_key
 
-__all__ = ["PrefillCache", "default_prefill_cache"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..sim.ssd import SimulatedSSD
+
+__all__ = [
+    "PrefillCache",
+    "default_prefill_cache",
+    "capture_live_state",
+    "restore_live_state",
+]
 
 #: FTL attributes that fully determine the shared post-prefill state.
 #: ``array``/``allocator``/``mapping`` carry the drive; ``_ppn_fp`` and
@@ -180,6 +188,66 @@ class PrefillCache:
             self._snaps.move_to_end(key)
             _restore(ftl, snapshot)
         return ftl
+
+
+# -- live mid-run state ------------------------------------------------
+#
+# The prefill cache above shares the *post-precondition* state between
+# runs.  The serve layer needs something stronger: checkpointing a
+# device *mid-run* — FTL tables, timelines, latency samples, the global
+# request index — such that a restored device finishes a trace
+# digest-identical to one that was never interrupted.  Unlike the
+# prefill path (which grafts a curated attribute subset onto a freshly
+# built FTL), a live checkpoint pickles the whole (ftl, ssd) object
+# graph in one piece, so every cross-reference (gc→array, timelines,
+# host queue heap, accumulated samples) survives by construction.
+# Restores are ``pickle.loads`` of an immutable byte string, the same
+# no-leak guarantee the prefill cache gives.
+
+#: Live-state blobs are version-tagged so a reader refuses a blob from
+#: an incompatible writer instead of grafting mismatched state.
+LIVE_STATE_VERSION = 1
+
+
+def capture_live_state(ftl: BaseFTL, ssd: "SimulatedSSD") -> bytes:
+    """Pickle the complete mid-run state of a device.
+
+    Requires a device without live observers attached (samplers hold
+    callbacks that cannot cross a pickle boundary); the serve layer
+    never attaches them to checkpointable sessions.
+    """
+    if ssd.observer is not None:
+        raise ValueError(
+            "cannot capture live state with a TimeSeriesSampler attached "
+            "(samplers hold process-local callbacks)"
+        )
+    if ssd.ftl is not ftl:
+        raise ValueError("ssd was built over a different ftl")
+    return pickle.dumps(
+        {"version": LIVE_STATE_VERSION, "ftl": ftl, "ssd": ssd},
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def restore_live_state(blob: bytes) -> Tuple[BaseFTL, "SimulatedSSD"]:
+    """Rehydrate a :func:`capture_live_state` blob.
+
+    The returned pair shares one object graph (``ssd.ftl is ftl``), so
+    stepping the restored device continues exactly where the captured
+    one stopped — the serve checkpoint tests prove digest identity with
+    an uninterrupted run.
+    """
+    state = pickle.loads(blob)
+    version = state.get("version")
+    if version != LIVE_STATE_VERSION:
+        raise ValueError(
+            f"live-state blob version {version!r} != supported "
+            f"{LIVE_STATE_VERSION}"
+        )
+    ftl, ssd = state["ftl"], state["ssd"]
+    if ssd.ftl is not ftl:
+        raise ValueError("corrupt live-state blob: ssd/ftl graph split")
+    return ftl, ssd
 
 
 _default: Optional[PrefillCache] = None

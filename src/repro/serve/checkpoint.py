@@ -1,0 +1,92 @@
+"""Checkpoint files: atomic per-tenant session-state persistence.
+
+One file per tenant under the server's checkpoint directory, written
+atomically (temp file + ``os.replace``) so a crash mid-write can never
+leave a half-written blob where a resumable checkpoint used to be — the
+old checkpoint survives until the new one is durably in place.
+
+The blob *content* is opaque here (versioned by
+:mod:`repro.serve.session`); this module is purely the file plumbing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+__all__ = [
+    "CheckpointError",
+    "checkpoint_path",
+    "save_checkpoint",
+    "load_checkpoint",
+    "drop_checkpoint",
+    "list_checkpoints",
+]
+
+_SUFFIX = ".session"
+
+
+class CheckpointError(OSError):
+    """A checkpoint file that cannot be written or read."""
+
+
+def checkpoint_path(directory: str, tenant: str) -> str:
+    """Where ``tenant``'s checkpoint lives under ``directory``.
+
+    Tenant names are already restricted to a filesystem-safe alphabet
+    by :class:`~repro.serve.session.SessionConfig`.
+    """
+    return os.path.join(directory, tenant + _SUFFIX)
+
+
+def save_checkpoint(directory: str, tenant: str, blob: bytes) -> str:
+    """Atomically persist ``blob`` as ``tenant``'s checkpoint."""
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = checkpoint_path(directory, tenant)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(f"cannot save checkpoint: {exc}") from None
+    return path
+
+
+def load_checkpoint(directory: str, tenant: str) -> Optional[bytes]:
+    """``tenant``'s checkpoint blob, or ``None`` when it has none."""
+    path = checkpoint_path(directory, tenant)
+    try:
+        with open(path, "rb") as fh:
+            return fh.read()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CheckpointError(f"cannot load checkpoint: {exc}") from None
+
+
+def drop_checkpoint(directory: str, tenant: str) -> bool:
+    """Remove ``tenant``'s checkpoint (a completed session needs none);
+    returns whether one existed."""
+    try:
+        os.remove(checkpoint_path(directory, tenant))
+        return True
+    except FileNotFoundError:
+        return False
+    except OSError as exc:
+        raise CheckpointError(f"cannot drop checkpoint: {exc}") from None
+
+
+def list_checkpoints(directory: str) -> List[str]:
+    """Tenants with a checkpoint under ``directory``, sorted."""
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return sorted(
+        name[: -len(_SUFFIX)]
+        for name in names
+        if name.endswith(_SUFFIX)
+    )

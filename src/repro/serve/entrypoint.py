@@ -1,0 +1,29 @@
+"""Container entrypoint: ``python -m repro.serve.entrypoint``.
+
+Configuration comes entirely from ``REPRO_SERVE_*`` environment
+variables (see :mod:`repro.serve.config`) — the Docker image sets them
+via ``docker-compose`` — and the process exits 0 after a graceful
+SIGTERM drain, which is what lets ``docker stop`` checkpoint every
+tenant session instead of killing them.
+
+The richer flag surface lives on ``repro serve``; this module stays a
+thin env-only shim so the container needs no argument plumbing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+
+from .config import settings_from_env
+from .server import run_server
+
+__all__ = ["main"]
+
+
+def main() -> int:
+    return asyncio.run(run_server(settings_from_env()))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via Docker
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""The session manager: tenant → session routing, resume, durability.
+
+One :class:`SessionManager` per server process.  It owns every live
+:class:`~repro.serve.session.TenantSession`, enforces the session cap,
+arbitrates tenant attachment (one connection per tenant at a time) and
+is the only component that touches the checkpoint store — sessions
+themselves never know whether they are durable.
+
+All methods are synchronous and are called from the server's worker
+threads one-message-at-a-time per tenant; cross-tenant calls touch
+disjoint sessions, so the manager needs no locking beyond the dict
+operations themselves (atomic under the GIL).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..api import ResultRecord
+from .checkpoint import drop_checkpoint, load_checkpoint, save_checkpoint
+from .config import ServeSettings
+from .session import SessionConfig, SessionError, TenantSession
+
+__all__ = ["SessionManager"]
+
+
+class SessionManager:
+    """Every tenant session a serve process is carrying."""
+
+    def __init__(self, settings: ServeSettings):
+        self.settings = settings
+        self.sessions: Dict[str, TenantSession] = {}
+        #: Tenants currently bound to a live connection.
+        self.attached: Dict[str, bool] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def open(self, config: SessionConfig) -> Tuple[TenantSession, bool]:
+        """Open (or reattach, or resume) ``config.tenant``'s session.
+
+        Returns ``(session, resumed)``.  Priority order: a live session
+        reattaches (the mid-stream-disconnect path), a checkpointed one
+        resumes from disk, otherwise a fresh session builds.  Reattach
+        and resume both require the client to present an *equal*
+        config — silently continuing under different parameters would
+        corrupt the stream's meaning.
+        """
+        tenant = config.tenant
+        if self.attached.get(tenant):
+            raise SessionError(f"tenant {tenant!r} is already attached")
+        session = self.sessions.get(tenant)
+        resumed = session is not None
+        if session is None and self.settings.checkpoint_dir is not None:
+            blob = load_checkpoint(self.settings.checkpoint_dir, tenant)
+            if blob is not None:
+                session = TenantSession.from_blob(blob)
+                resumed = True
+        if session is not None and session.config != config:
+            raise SessionError(
+                f"tenant {tenant!r} has an existing session with a "
+                "different config; reopen with the original parameters"
+            )
+        if session is None:
+            if len(self.sessions) >= self.settings.max_sessions:
+                raise SessionError(
+                    f"session limit reached ({self.settings.max_sessions})"
+                )
+            session = TenantSession(config)
+        self.sessions[tenant] = session
+        self.attached[tenant] = True
+        return session, resumed
+
+    def detach(self, tenant: str) -> Optional[TenantSession]:
+        """Unbind ``tenant`` from its connection, keeping the session.
+
+        Buffered requests stay buffered (they checkpoint with the
+        session); with a checkpoint store configured the session is
+        persisted immediately, so even a server killed right after a
+        disconnect loses nothing.
+        """
+        self.attached[tenant] = False
+        session = self.sessions.get(tenant)
+        if session is not None:
+            self.checkpoint(tenant)
+        return session
+
+    def close(self, tenant: str) -> ResultRecord:
+        """Finalize ``tenant``'s session and forget it everywhere."""
+        session = self.sessions.get(tenant)
+        if session is None:
+            raise SessionError(f"tenant {tenant!r} has no open session")
+        record = session.finalize()
+        del self.sessions[tenant]
+        self.attached.pop(tenant, None)
+        if self.settings.checkpoint_dir is not None:
+            drop_checkpoint(self.settings.checkpoint_dir, tenant)
+        return record
+
+    # -- durability ----------------------------------------------------
+
+    def checkpoint(self, tenant: str) -> bool:
+        """Persist ``tenant``'s session now; returns whether it was."""
+        if self.settings.checkpoint_dir is None:
+            return False
+        session = self.sessions.get(tenant)
+        if session is None or session.finished:
+            return False
+        save_checkpoint(
+            self.settings.checkpoint_dir, tenant, session.checkpoint_blob()
+        )
+        return True
+
+    def checkpoint_due(self, tenant: str) -> bool:
+        """Whether the periodic checkpoint cadence has elapsed."""
+        every = self.settings.checkpoint_every
+        if every is None or self.settings.checkpoint_dir is None:
+            return False
+        session = self.sessions.get(tenant)
+        if session is None:
+            return False
+        return session.served - session.checkpointed_at >= every
+
+    def drain(self) -> List[str]:
+        """Graceful-shutdown epilogue: flush every session's in-flight
+        buffer and checkpoint it.  Returns the tenants checkpointed.
+
+        Called only after every connection handler has finished, so no
+        session is concurrently mutating.
+        """
+        drained: List[str] = []
+        for tenant in sorted(self.sessions):
+            session = self.sessions[tenant]
+            if session.finished:
+                continue
+            session.flush()
+            if self.checkpoint(tenant):
+                drained.append(tenant)
+        return drained

@@ -9,7 +9,13 @@ from .fiu import (
     read_fiu,
     write_fiu,
 )
-from .jsonl import JSONLFormatError, iter_jsonl_requests, write_jsonl
+from .jsonl import (
+    JSONLFormatError,
+    iter_jsonl_requests,
+    record_of_request,
+    request_of_record,
+    write_jsonl,
+)
 from .profiles import (
     PROFILES,
     TraceAudit,
@@ -57,4 +63,6 @@ __all__ = [
     "JSONLFormatError",
     "write_jsonl",
     "iter_jsonl_requests",
+    "record_of_request",
+    "request_of_record",
 ]

@@ -19,24 +19,54 @@ from typing import Iterable, Iterator, TextIO
 
 from ..sim.request import IORequest, OpType
 
-__all__ = ["JSONLFormatError", "write_jsonl", "iter_jsonl_requests"]
+__all__ = [
+    "JSONLFormatError",
+    "record_of_request",
+    "request_of_record",
+    "write_jsonl",
+    "iter_jsonl_requests",
+]
 
 
 class JSONLFormatError(ValueError):
     """A malformed JSONL trace line."""
 
 
+def record_of_request(request: IORequest) -> dict:
+    """The self-describing dict form of one request (one JSONL line)."""
+    return {
+        "t": request.arrival_us,
+        "op": request.op.value,
+        "lpn": request.lpn,
+        "value": request.value_id,
+    }
+
+
+def request_of_record(record: dict) -> IORequest:
+    """Parse one request dict; raises :class:`JSONLFormatError` on bad
+    fields.  The inverse of :func:`record_of_request` (round trips are
+    lossless: JSON floats serialise via ``repr``); shared by the trace
+    files and the ``repro serve`` wire protocol, so the two surfaces
+    cannot drift apart."""
+    try:
+        op = OpType(record["op"])
+        return IORequest(
+            arrival_us=float(record["t"]),
+            op=op,
+            lpn=int(record["lpn"]),
+            value_id=int(record.get("value", 0)),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise JSONLFormatError(str(exc)) from None
+
+
 def write_jsonl(stream: TextIO, requests: Iterable[IORequest]) -> int:
     """Write a trace as JSON lines; returns the line count."""
     count = 0
     for request in requests:
-        record = {
-            "t": request.arrival_us,
-            "op": request.op.value,
-            "lpn": request.lpn,
-            "value": request.value_id,
-        }
-        stream.write(json.dumps(record, separators=(",", ":")))
+        stream.write(
+            json.dumps(record_of_request(request), separators=(",", ":"))
+        )
         stream.write("\n")
         count += 1
     return count
@@ -58,12 +88,6 @@ def iter_jsonl_requests(stream: TextIO) -> Iterator[IORequest]:
         if not isinstance(record, dict):
             raise JSONLFormatError(f"line {lineno}: expected an object")
         try:
-            op = OpType(record["op"])
-            yield IORequest(
-                arrival_us=float(record["t"]),
-                op=op,
-                lpn=int(record["lpn"]),
-                value_id=int(record.get("value", 0)),
-            )
-        except (KeyError, ValueError, TypeError) as exc:
+            yield request_of_record(record)
+        except JSONLFormatError as exc:
             raise JSONLFormatError(f"line {lineno}: {exc}") from None

@@ -51,7 +51,15 @@ class TestRunCommand:
         ])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["host_writes"] > 0
+        assert payload["schema"] == "repro.api/v1"
+        assert payload["kind"] == "run"
+        assert payload["counters"]["host_writes"] > 0
+        assert payload["digest"]
+        # The unified record round-trips through the typed parser.
+        from repro.api import parse_record
+
+        record = parse_record(payload)
+        assert record.to_dict() == payload
 
 
 class TestCompareCommand:
@@ -132,7 +140,7 @@ class TestCheckFlags:
             "--scale", "0.004", "--check", "--trim-every", "9", "--json",
         ]) == 0
         summary = json.loads(capsys.readouterr().out)
-        assert summary["host_writes"] > 0
+        assert summary["counters"]["host_writes"] > 0
 
     def test_faults_with_check(self, capsys):
         assert main([
@@ -141,7 +149,8 @@ class TestCheckFlags:
             "--program-failure-prob", "0.01", "--seed", "3", "--json",
         ]) == 0
         summary = json.loads(capsys.readouterr().out)
-        assert "fault.program_failures" in summary
+        assert summary["kind"] == "run"
+        assert "program_failures" in summary["faults"]
 
     def test_compare_accepts_check(self, capsys):
         assert main([
@@ -158,4 +167,4 @@ class TestCheckFlags:
             "--scale", "0.004", "--json",
         ]) == 0
         summary = json.loads(capsys.readouterr().out)
-        assert not any(key.startswith("fault.") for key in summary)
+        assert summary["faults"] is None

@@ -109,17 +109,21 @@ class TestAggregation:
         assert len(summary["fleet_digest"]) == 64
 
     def test_export_jsonl(self, fleet):
+        from repro.api import parse_record
+
         buffer = io.StringIO()
         records = fleet.export_jsonl(JsonlWriter(buffer))
         lines = [json.loads(l) for l in buffer.getvalue().splitlines()]
         assert records == SPEC.shards + 1
-        assert [l["kind"] for l in lines] == ["shard"] * SPEC.shards + [
-            "fleet"
-        ]
+        assert [l["kind"] for l in lines] == (
+            ["fleet.shard"] * SPEC.shards + ["fleet"]
+        )
         for index, line in enumerate(lines[:-1]):
-            assert line["shard"] == index
+            assert line["meta"]["shard"] == index
             assert len(line["digest"]) == 64
-        assert lines[-1]["fleet_digest"] == fleet.fleet_digest
+            parse_record(line)  # every exported line is a valid v1 record
+        assert lines[-1]["digest"] == fleet.fleet_digest
+        assert lines[-1]["meta"]["shard_digests"] == list(fleet.shard_digests)
 
 
 class TestPoolModes:
@@ -147,8 +151,9 @@ class TestFleetCli:
         ])
         assert code == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["shards"] == 2
-        assert len(payload["fleet_digest"]) == 64
+        assert payload["kind"] == "fleet"
+        assert payload["meta"]["shards"] == 2
+        assert len(payload["digest"]) == 64
 
     def test_fleet_compare_pool_modes(self, capsys):
         code = main([

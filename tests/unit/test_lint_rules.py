@@ -333,6 +333,47 @@ def test_no_experiments_covers_fleet(tmp_path):
     assert codes_of(result) == ["layer.no-experiments"]
 
 
+def test_no_experiments_covers_api(tmp_path):
+    result = lint_sources(tmp_path, {
+        "repro/sim/bad.py": """
+            from repro.api import record_from_run
+        """,
+    }, select=["layer.no-experiments"])
+    assert codes_of(result) == ["layer.no-experiments"]
+
+
+def test_no_serve_fires_below_the_cli(tmp_path):
+    result = lint_sources(tmp_path, {
+        "repro/fleet/bad.py": """
+            def f():
+                from repro.serve import ServeServer
+                return ServeServer
+        """,
+        "repro/api/bad.py": """
+            from repro.serve.session import TenantSession
+        """,
+    }, select=["layer.no-serve"])
+    assert len(result.violations) == 2
+    assert codes_of(result) == ["layer.no-serve"]
+
+
+def test_cli_and_serve_itself_may_import_serve(tmp_path):
+    result = lint_sources(tmp_path, {
+        "repro/cli.py": """
+            def f():
+                from repro.serve import run_server
+                return run_server
+        """,
+        "repro/serve/manager.py": """
+            from repro.serve.session import TenantSession
+
+            def g():
+                return TenantSession
+        """,
+    }, select=["layer.no-serve"])
+    assert result.clean
+
+
 def test_fleet_may_import_harness_and_device_layers(tmp_path):
     result = lint_sources(tmp_path, {
         "repro/fleet/good.py": """
@@ -714,6 +755,7 @@ FIXTURES_BY_CODE = {
     "det.environ": test_environ_fires_outside_config,
     "layer.core-purity": test_core_purity_fires,
     "layer.no-experiments": test_no_experiments_fires_for_sim_and_ftl,
+    "layer.no-serve": test_no_serve_fires_below_the_cli,
     "layer.cycle": test_import_cycle_detected,
     "proto.pool-surface": test_pool_missing_surface_fires,
     "proto.ftl-hooks": test_ftl_subclass_missing_hooks_fires,
@@ -747,6 +789,9 @@ def test_rule_exits_nonzero_on_its_fixture(code, tmp_path, capsys):
         },
         "layer.no-experiments": {
             "repro/ftl/bad.py": "from repro.experiments import runner\n",
+        },
+        "layer.no-serve": {
+            "repro/fleet/bad.py": "from repro.serve import protocol\n",
         },
         "layer.cycle": {
             "p/__init__.py": "",
