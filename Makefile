@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test lint check perf-smoke fleet-smoke serve-smoke bench figures
+.PHONY: test lint check perf-smoke fleet-smoke serve-smoke kv-smoke bench figures
 
 test: lint check
 	$(PYTHON) -m pytest -q
@@ -49,6 +49,11 @@ fleet-smoke:
 # checkpoints every session and a restart resumes them bit-exact.
 serve-smoke:
 	$(PYTHON) -m pytest -q -m serve_smoke
+
+# KV smoke: keyed zoo workloads end-to-end through the key→LPN layer,
+# the pool on/off ablation, and jobs=1 vs jobs=N digest identity.
+kv-smoke:
+	$(PYTHON) -m pytest -q -m kv_smoke
 
 # Refresh the tracked perf report (serial vs parallel canonical matrix
 # plus the fleet section: long-lived shards, pool-mode comparison).

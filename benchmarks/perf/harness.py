@@ -31,6 +31,12 @@ The gate additionally fails on:
   GC-bound shards that cannot double throughput on four cores mean the
   fan-out is broken.
 
+The report's tracked **kv** section (``--no-kv`` skips it) runs the KV
+ablation cells — each YCSB workload with the pool on and off — and the
+gate fails on a serial/parallel digest mismatch, an on/off digest drift
+against the tracked section (same system and scale), or a silent
+sub-1.0 speedup.
+
 Timing comparisons are normalized by each report's
 ``calibration_seconds`` (a fixed pure-Python loop timed at bench time),
 so a container running 1.5× slower today than when the tracked report
@@ -49,6 +55,7 @@ from repro.perf.bench import (
     DEFAULT_BENCH_SCALE,
     DEFAULT_FLEET_SCALE,
     DEFAULT_FLEET_SHARDS,
+    DEFAULT_KV_SCALE,
     write_benchmark,
 )
 
@@ -90,6 +97,36 @@ def gate_fleet(fresh: dict, tracked: dict) -> list:
     return failures
 
 
+def gate_kv(fresh: dict, tracked: dict) -> list:
+    """KV-section checks; ``tracked`` may be ``None`` (new section)."""
+    failures = []
+    if not fresh["identical_results"]:
+        failures.append(
+            "kv: serial and parallel legs produced different digests"
+        )
+    speedup = fresh.get("speedup")
+    if not fresh.get("serial_fallback") and (speedup is None or speedup < 1.0):
+        failures.append(
+            f"kv: speedup {speedup} < 1.0 without serial_fallback marker"
+        )
+    if tracked:
+        old_cells = {c["workload"]: c for c in tracked.get("cells", [])}
+        same_shape = all(
+            tracked.get(key) == fresh.get(key) for key in ("system", "scale")
+        )
+        for cell in fresh.get("cells", []):
+            old = old_cells.get(cell["workload"])
+            if old is None or not same_shape:
+                continue
+            for leg in ("digest_on", "digest_off"):
+                if old.get(leg) != cell[leg]:
+                    failures.append(
+                        f"kv: {cell['workload']} {leg} drifted from "
+                        "tracked report"
+                    )
+    return failures
+
+
 def gate(report: dict, tracked: dict, tolerance: float) -> list:
     """Compare a fresh report against the tracked one; return failures."""
     failures = []
@@ -97,6 +134,8 @@ def gate(report: dict, tracked: dict, tolerance: float) -> list:
         failures.append("serial and parallel legs produced different digests")
     if report.get("fleet"):
         failures.extend(gate_fleet(report["fleet"], tracked.get("fleet")))
+    if report.get("kv"):
+        failures.extend(gate_kv(report["kv"], tracked.get("kv")))
     speedup = report.get("speedup")
     if not report.get("serial_fallback") and (speedup is None or speedup < 1.0):
         failures.append(
@@ -178,6 +217,11 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_FLEET_SCALE})")
     parser.add_argument("--no-fleet", action="store_true",
                         help="skip the fleet section")
+    parser.add_argument("--kv-scale", type=float, default=DEFAULT_KV_SCALE,
+                        help="workload scale for the KV ablation section "
+                             f"(default {DEFAULT_KV_SCALE})")
+    parser.add_argument("--no-kv", action="store_true",
+                        help="skip the KV ablation section")
     args = parser.parse_args(argv)
 
     tracked = None
@@ -193,6 +237,9 @@ def main(argv=None) -> int:
     if not args.no_fleet:
         kwargs["fleet_shards"] = args.fleet_shards
         kwargs["fleet_scale"] = args.fleet_scale
+    if not args.no_kv:
+        kwargs["kv"] = True
+        kwargs["kv_scale"] = args.kv_scale
     report = write_benchmark(args.out, **kwargs)
     second_leg = (
         "serial_fallback"
@@ -223,9 +270,30 @@ def main(argv=None) -> int:
             f"shared {fleet['pool_modes']['shared']} programs"
         )
 
+    kv = report.get("kv")
+    if kv:
+        kv_leg = (
+            "serial_fallback"
+            if kv["serial_fallback"]
+            else f"x{kv['speedup']}, jobs={kv['jobs']}"
+        )
+        deltas = ", ".join(
+            f"{c['workload']} rev {c['revival_rate']:.3f} "
+            f"(saves {c['flash_writes_saved']} writes)"
+            for c in kv["cells"]
+        )
+        print(
+            f"kv: {kv['system']} at scale {kv['scale']}, "
+            f"serial {kv['serial_seconds']:.2f}s, "
+            f"parallel {kv['parallel_seconds']:.2f}s ({kv_leg}), "
+            f"identical_results={kv['identical_results']}; {deltas}"
+        )
+
     if tracked is None:
-        ok = report["identical_results"] and (
-            fleet is None or fleet["identical_results"]
+        ok = (
+            report["identical_results"]
+            and (fleet is None or fleet["identical_results"])
+            and (kv is None or kv["identical_results"])
         )
         return 0 if ok else 1
     failures = gate(report, tracked, args.tolerance)

@@ -21,8 +21,10 @@ from .schema import (
     SchemaError,
     aggregate_record,
     parse_record,
+    record_from_kv_run,
     record_from_run,
     records_from_fleet,
+    records_from_kv_ablation,
     session_digest,
 )
 
@@ -35,7 +37,9 @@ __all__ = [
     "SchemaError",
     "aggregate_record",
     "parse_record",
+    "record_from_kv_run",
     "record_from_run",
     "records_from_fleet",
+    "records_from_kv_ablation",
     "session_digest",
 ]

@@ -30,12 +30,14 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import asdict, dataclass, field
+from dataclasses import replace as dataclasses_replace
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
 
 from ..sim.metrics import LatencyStats, RunResult
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..fleet.aggregate import FleetResult
+    from ..kv.scenario import KVRunResult
 
 __all__ = [
     "SCHEMA",
@@ -47,6 +49,8 @@ __all__ = [
     "record_from_run",
     "aggregate_record",
     "records_from_fleet",
+    "record_from_kv_run",
+    "records_from_kv_ablation",
     "session_digest",
     "parse_record",
 ]
@@ -66,6 +70,8 @@ KINDS = (
     "fleet",        # the fleet aggregate over its shards
     "serve.metrics",  # incremental mid-stream snapshot of a serve session
     "serve.session",  # final record of a completed serve session
+    "kv.run",       # one keyed (KV-SSD) run over a zoo workload
+    "kv.ablation",  # a KV run paired with its pool-off counterpart
 )
 
 
@@ -335,6 +341,71 @@ def session_digest(shard_digests: List[str]) -> str:
     (matches :attr:`~repro.fleet.aggregate.FleetResult.fleet_digest`)."""
     payload = "\n".join(shard_digests).encode("ascii")
     return hashlib.sha256(payload).hexdigest()
+
+
+def record_from_kv_run(
+    kv: "KVRunResult", kind: str = "kv.run"
+) -> ResultRecord:
+    """The unified record of one keyed run.
+
+    The page-level outcome fills the standard fields; the store's KV
+    counters, the spec identity and the derived ratios ride in ``meta``
+    (additive, like every kind-specific extra)."""
+    spec = kv.spec
+    return record_from_run(
+        kv.result,
+        kind=kind,
+        digest=kv.digest,
+        meta={
+            "kv": dict(kv.kv_counters),
+            "spec": {
+                "workload": spec.workload,
+                "system": spec.system,
+                "paper_pool_entries": spec.paper_pool_entries,
+                "scale": spec.scale,
+                "seed": spec.seed,
+            },
+            "write_amplification": kv.write_amplification,
+            "revival_rate": kv.revival_rate,
+        },
+    )
+
+
+def records_from_kv_ablation(
+    on: "KVRunResult", off: "KVRunResult"
+) -> List[ResultRecord]:
+    """Both legs of a KV pool ablation plus the comparison record.
+
+    The comparison record (kind ``kv.ablation``) carries the pool-on
+    run's counters — the subject; the off leg is the control — with the
+    paired deltas in ``meta`` and the ordered two-leg
+    :func:`session_digest` as its identity."""
+    records = [
+        record_from_kv_run(on),
+        record_from_kv_run(off),
+    ]
+    comparison = record_from_kv_run(on, kind="kv.ablation")
+    meta = dict(comparison.meta)
+    meta.update({
+        "off_system": off.spec.system,
+        "write_amplification_off": off.write_amplification,
+        "revival_rate_off": off.revival_rate,
+        "write_amplification_delta": (
+            on.write_amplification - off.write_amplification
+        ),
+        "flash_writes_saved": (
+            off.result.counters.programs + off.result.counters.gc_relocations
+            - on.result.counters.programs - on.result.counters.gc_relocations
+        ),
+        "digest_on": on.digest,
+        "digest_off": off.digest,
+    })
+    records.append(dataclasses_replace(
+        comparison,
+        digest=session_digest([on.digest, off.digest]),
+        meta=meta,
+    ))
+    return records
 
 
 def records_from_fleet(fleet: "FleetResult") -> List[ResultRecord]:

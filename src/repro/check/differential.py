@@ -143,7 +143,9 @@ def differential_run(
     if cfg.trim_every:
         from ..traces.transforms import with_trims
 
-        trace = with_trims(trace, cfg.trim_every)
+        # Materialise: the differential replays the trace twice (timeline
+        # then DES) and reports its length; with_trims streams.
+        trace = list(with_trims(trace, cfg.trim_every))
     entries = scaled_pool_entries(cfg.paper_pool_entries, cfg.scale)
 
     def fresh_ftl():

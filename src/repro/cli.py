@@ -26,6 +26,11 @@ Commands
     routing), run the shards in parallel, and print the fleet
     aggregate; ``--compare-pool-modes`` contrasts private per-drive
     dead-value pools with the shared-pool upper bound.
+``kv``
+    Run a keyed (KV-SSD) workload from the zoo (:mod:`repro.kv`) over
+    any system: key→LPN translation, small-value inlining, TRIM on
+    delete; ``--ablate`` pairs the run with its pool-off counterpart
+    and reports the revival / write-amplification delta.
 ``bench``
     Time the canonical matrix and refresh ``BENCH_matrix.json``.
 ``serve``
@@ -247,6 +252,30 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_p.add_argument("--json", action="store_true")
     add_scale(fleet_p)
     add_jobs(fleet_p)
+
+    kv_p = sub.add_parser(
+        "kv",
+        help="run a keyed (KV-SSD) zoo workload over a system "
+             "(see DESIGN.md §13)",
+    )
+    from .kv.zoo import KV_WORKLOADS
+
+    kv_p.add_argument("--workload", choices=sorted(KV_WORKLOADS),
+                      default="ycsb-a",
+                      help="zoo workload (default ycsb-a)")
+    kv_p.add_argument("--system", choices=sorted(SYSTEMS), default="mq-dvp",
+                      help="studied system (default mq-dvp)")
+    kv_p.add_argument("--pool", type=int, default=200_000,
+                      help="pool size in paper-label entries (default 200K)")
+    kv_p.add_argument(
+        "--ablate", action="store_true",
+        help="also run the system's pool-off counterpart and report "
+             "the revival / write-amplification delta",
+    )
+    kv_p.add_argument("--json", action="store_true")
+    add_seed(kv_p, default=None, help="workload generator seed override")
+    add_scale(kv_p)
+    add_jobs(kv_p)
 
     bench_p = sub.add_parser(
         "bench", help="time the canonical matrix; refresh BENCH_matrix.json"
@@ -747,6 +776,68 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return asyncio.run(run_server(settings))
 
 
+def _cmd_kv(args: argparse.Namespace) -> int:
+    from .api import record_from_kv_run, records_from_kv_ablation
+    from .kv import KVSpec, execute_kv_spec, run_kv_ablation
+
+    try:
+        spec = KVSpec(
+            workload=args.workload,
+            system=args.system,
+            paper_pool_entries=args.pool,
+            scale=args.scale,
+            seed=args.seed,
+        )
+        if args.ablate:
+            on, off = run_kv_ablation(spec, jobs=args.jobs)
+        else:
+            on, off = execute_kv_spec(spec), None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        if off is not None:
+            record = records_from_kv_ablation(on, off)[-1]
+        else:
+            record = record_from_kv_run(on)
+        print(json.dumps(record.to_dict(), indent=2, sort_keys=True))
+        return 0
+
+    def leg_rows(kv):
+        counters = kv.result.counters
+        return [
+            ("flash writes", counters.programs + counters.gc_relocations),
+            ("host writes", counters.host_writes),
+            ("host trims", counters.host_trims),
+            ("write amplification", f"{kv.write_amplification:.3f}"),
+            ("revival rate", f"{kv.revival_rate:.3f}"),
+            ("pack seals", kv.kv_counters["pack_seals"]),
+            ("pack repacks", kv.kv_counters["pack_repacks"]),
+            ("digest", kv.digest[:16]),
+        ]
+
+    print(render_table(
+        ["metric", "value"], leg_rows(on),
+        title=f"kv: {args.workload} on {args.system} "
+              f"(scale {args.scale}, seed {args.seed})",
+    ))
+    if off is not None:
+        print(render_table(
+            ["metric", "value"], leg_rows(off),
+            title=f"pool off: {off.spec.system}",
+        ))
+        on_writes = (on.result.counters.programs
+                     + on.result.counters.gc_relocations)
+        off_writes = (off.result.counters.programs
+                      + off.result.counters.gc_relocations)
+        print(f"pool saves {off_writes - on_writes} flash writes "
+              f"(revival rate {on.revival_rate:.3f}; WA "
+              f"{off.write_amplification:.3f} -> "
+              f"{on.write_amplification:.3f})")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from .perf.bench import write_benchmark
 
@@ -875,6 +966,7 @@ COMMANDS = {
     "matrix": _cmd_matrix,
     "faults": _cmd_faults,
     "fleet": _cmd_fleet,
+    "kv": _cmd_kv,
     "serve": _cmd_serve,
     "bench": _cmd_bench,
     "lint": _cmd_lint,

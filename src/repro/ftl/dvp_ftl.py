@@ -15,7 +15,14 @@ Name                 Composition
 ``dedup``            deduplicating FTL, no pool
 ``dvp+dedup``        deduplicating FTL + MQ pool + popularity-aware GC
 ``adaptive-dvp``     FTL + self-sizing MQ pool (the paper's future work)
+``dftl-baseline``    demand-paged mapping (DFTL CMT), no pool
+``dftl-mq-dvp``      demand-paged mapping + MQ pool + popularity-aware GC
 ===================  ========================================================
+
+The ``dftl-*`` variants price mapping lookups as flash traffic
+(translation-page reads/programs, see :mod:`repro.ftl.dftl`); they answer
+the adopter question of whether pool gains survive realistic mapping cost,
+and give the KV scenario (:mod:`repro.kv`) its DFTL backdrop.
 """
 
 from __future__ import annotations
@@ -25,6 +32,7 @@ from typing import Callable, Dict
 from ..core.dvp import pool_from_name
 from ..flash.config import SSDConfig
 from .dedup import DedupFTL
+from .dftl import DFTLFtl
 from .ftl import BaseFTL
 
 __all__ = [
@@ -36,7 +44,10 @@ __all__ = [
     "make_adaptive_dvp",
     "make_dedup",
     "make_dvp_dedup",
+    "make_dftl_baseline",
+    "make_dftl_mq_dvp",
     "SYSTEMS",
+    "POOL_OFF_SYSTEM",
     "build_system",
 ]
 
@@ -119,6 +130,25 @@ def make_dvp_dedup(
     )
 
 
+def make_dftl_baseline(config: SSDConfig) -> DFTLFtl:
+    """Demand-paged mapping, no content machinery."""
+    return DFTLFtl(config)
+
+
+def make_dftl_mq_dvp(
+    config: SSDConfig,
+    pool_entries: int,
+    num_queues: int = DEFAULT_NUM_QUEUES,
+) -> DFTLFtl:
+    """The proposal on a demand-paged mapping table: every host op pays
+    CMT cost, so revival savings compete with translation traffic."""
+    return DFTLFtl(
+        config,
+        pool=pool_from_name("mq", pool_entries, num_queues=num_queues),
+        popularity_aware_gc=True,
+    )
+
+
 #: name → factory(config, pool_entries) used by the experiment harness.
 #: Factories that take no pool size ignore the argument.
 SYSTEMS: Dict[str, Callable[[SSDConfig, int], BaseFTL]] = {
@@ -130,6 +160,20 @@ SYSTEMS: Dict[str, Callable[[SSDConfig, int], BaseFTL]] = {
     "adaptive-dvp": make_adaptive_dvp,
     "dedup": lambda cfg, n: make_dedup(cfg),
     "dvp+dedup": make_dvp_dedup,
+    "dftl-baseline": lambda cfg, n: make_dftl_baseline(cfg),
+    "dftl-mq-dvp": make_dftl_mq_dvp,
+}
+
+#: Each pool-bearing system's pool-less counterpart, for on/off ablations
+#: (same FTL family and GC policy machinery, no dead-value pool).
+POOL_OFF_SYSTEM: Dict[str, str] = {
+    "lru-dvp": "baseline",
+    "mq-dvp": "baseline",
+    "ideal": "baseline",
+    "lxssd": "baseline",
+    "adaptive-dvp": "baseline",
+    "dvp+dedup": "dedup",
+    "dftl-mq-dvp": "dftl-baseline",
 }
 
 

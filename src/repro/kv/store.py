@@ -1,0 +1,296 @@
+"""Key→LPN translation: a KV store that speaks the simulator's page ops.
+
+:class:`KVStore` maps string/int keys to flash locations and turns each
+:class:`~repro.kv.requests.KVRequest` into the page-level
+:class:`~repro.sim.request.IORequest`\\ s any in-tree FTL consumes:
+
+* values of at least ``inline_threshold`` bytes occupy a private *extent*
+  of whole pages (one WRITE per page; page ``i`` of content ``c`` always
+  carries the same derived ``value_id``, so a recurring value reproduces
+  recurring page contents — the hook value-locality revival needs).
+  Overwrites reuse the extent's pages in place (the new WRITEs invalidate
+  the old copies at the FTL) and TRIM any excess pages a shrinking value
+  leaves behind;
+* smaller values go through the revival-aware
+  :class:`~repro.kv.inline.InlinePacker`;
+* DELETE issues TRIMs for every page the key owned (the keyed workloads'
+  TRIM-heavy profile rides on this) and frees the LPNs for reuse.
+
+The store is the *translation* layer only: it owns a logical address
+allocator (smallest-free-first, deterministic) but never touches an FTL.
+:func:`KVStore.translate` converts a lazy stream of KV requests into a
+lazy stream of page requests, so billion-op keyed workloads stream
+through without materialising either side — the same contract as the
+trace transforms.  Feeding that stream to a
+:class:`~repro.experiments.device.Device` happens in
+:mod:`repro.kv.scenario`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..sim.request import IORequest, OpType
+from .inline import FlashAction, InlinePacker, InlineSlot
+from .requests import Key, KVOp, KVRequest, key_to_int, mix64
+
+__all__ = ["KVStats", "KVStore", "page_value_id"]
+
+
+def page_value_id(content_id: int, page_index: int) -> int:
+    """Content identity of page ``page_index`` of a multi-page value.
+
+    Distinct ``(content_id, page_index)`` pairs spread over the 64-bit
+    ``value_id`` space; the same content always reproduces the same page
+    identities, whichever key (or extent) carries it."""
+    return mix64(mix64(content_id) + 0x100000001 * (page_index + 1))
+
+
+@dataclass(slots=True)
+class KVStats:
+    """Operation and translation counters of one KV run."""
+
+    gets: int = 0
+    get_misses: int = 0
+    buffer_hits: int = 0        # GETs served from the open pack buffer
+    puts: int = 0
+    inserts: int = 0            # PUTs that created the key
+    deletes: int = 0
+    delete_misses: int = 0
+    scans: int = 0
+    scanned_keys: int = 0
+    flash_reads: int = 0
+    flash_writes: int = 0
+    flash_trims: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+        }
+
+
+@dataclass(slots=True)
+class _Extent:
+    lpns: Tuple[int, ...]
+    content_id: int
+
+
+class KVStore:
+    """One tenant's key→LPN translation state."""
+
+    def __init__(
+        self,
+        page_bytes: int = 4096,
+        inline_threshold: Optional[int] = None,
+        repack_threshold: float = 0.5,
+        max_pages: int = 0,
+    ):
+        if page_bytes <= 0:
+            raise ValueError("page_bytes must be positive")
+        if inline_threshold is None:
+            inline_threshold = page_bytes // 2
+        if not 0 < inline_threshold <= page_bytes:
+            raise ValueError("inline_threshold must be in (0, page_bytes]")
+        self.page_bytes = page_bytes
+        self.inline_threshold = inline_threshold
+        self.max_pages = max_pages
+        self.stats = KVStats()
+        self._extents: Dict[Key, _Extent] = {}
+        self._free: List[int] = []
+        self._next_lpn = 0
+        self._packer = InlinePacker(
+            page_bytes,
+            alloc=self._alloc,
+            release=self._release,
+            repack_threshold=repack_threshold,
+        )
+
+    # -- allocator -----------------------------------------------------
+
+    def _alloc(self) -> int:
+        if self._free:
+            return heapq.heappop(self._free)
+        lpn = self._next_lpn
+        if self.max_pages and lpn >= self.max_pages:
+            raise RuntimeError(
+                f"KV store exhausted its {self.max_pages}-page space"
+            )
+        self._next_lpn += 1
+        return lpn
+
+    def _release(self, lpn: int) -> None:
+        heapq.heappush(self._free, lpn)
+
+    @property
+    def allocated_pages(self) -> int:
+        """High-water logical footprint (drive sizing)."""
+        return self._next_lpn
+
+    @property
+    def live_keys(self) -> int:
+        return len(self._extents) + self._packer.live_count
+
+    @property
+    def packer(self) -> InlinePacker:
+        return self._packer
+
+    def counters(self) -> Dict[str, int]:
+        """Operation counters plus the packer's, one flat dict."""
+        merged = self.stats.as_dict()
+        pack = self._packer.stats
+        merged.update(
+            pack_seals=pack.seals,
+            pack_repacks=pack.repacks,
+            pack_trims=pack.trims,
+            inline_live=self._packer.live_count,
+            extent_live=len(self._extents),
+        )
+        return merged
+
+    # -- keyed operations ----------------------------------------------
+
+    def put(
+        self, key: Key, value_bytes: int, content_id: int, arrival_us: float
+    ) -> Iterator[IORequest]:
+        """(Over)write ``key``; yields this op's page requests."""
+        if value_bytes <= 0:
+            raise ValueError("value_bytes must be positive")
+        self.stats.puts += 1
+        actions: List[FlashAction] = []
+        inline_new = value_bytes < self.inline_threshold
+        old = self._extents.pop(key, None)
+        existed = old is not None
+        if old is not None and inline_new:
+            # extent → inline: the whole old extent is discarded.
+            for lpn in old.lpns:
+                actions.append(("trim", lpn, 0))
+                self._release(lpn)
+            old = None
+        if not existed and key in self._packer:
+            existed = True
+            actions.extend(self._packer.kill(key))
+        if not existed:
+            self.stats.inserts += 1
+        if inline_new:
+            actions.extend(self._packer.add(key, InlineSlot(
+                key_int=key_to_int(key),
+                content_id=content_id,
+                size=value_bytes,
+            )))
+        else:
+            pages = -(-value_bytes // self.page_bytes)
+            reuse = old.lpns[:pages] if old is not None else ()
+            if old is not None:
+                for lpn in old.lpns[pages:]:    # value shrank
+                    actions.append(("trim", lpn, 0))
+                    self._release(lpn)
+            lpns = tuple(reuse) + tuple(
+                self._alloc() for _ in range(pages - len(reuse))
+            )
+            self._extents[key] = _Extent(lpns=lpns, content_id=content_id)
+            actions.extend(
+                ("write", lpn, page_value_id(content_id, index))
+                for index, lpn in enumerate(lpns)
+            )
+        yield from self._emit(arrival_us, actions)
+
+    def get(self, key: Key, arrival_us: float) -> Iterator[IORequest]:
+        self.stats.gets += 1
+        actions = self._read_actions(key)
+        if actions is None:
+            self.stats.get_misses += 1
+            return
+        yield from self._emit(arrival_us, actions)
+
+    def delete(self, key: Key, arrival_us: float) -> Iterator[IORequest]:
+        self.stats.deletes += 1
+        extent = self._extents.pop(key, None)
+        if extent is not None:
+            actions: List[FlashAction] = []
+            for lpn in extent.lpns:
+                actions.append(("trim", lpn, 0))
+                self._release(lpn)
+            yield from self._emit(arrival_us, actions)
+            return
+        if key in self._packer:
+            yield from self._emit(arrival_us, self._packer.kill(key))
+            return
+        self.stats.delete_misses += 1
+
+    def scan(
+        self, start_key: int, length: int, arrival_us: float
+    ) -> Iterator[IORequest]:
+        """Read up to ``length`` consecutive integer keys from
+        ``start_key`` (missing keys are skipped, like an iterator over a
+        sorted store)."""
+        if not isinstance(start_key, int) or isinstance(start_key, bool):
+            raise TypeError("scans require integer keys")
+        if length <= 0:
+            raise ValueError("scan length must be positive")
+        self.stats.scans += 1
+        for key in range(start_key, start_key + length):
+            actions = self._read_actions(key)
+            if actions is not None:
+                self.stats.scanned_keys += 1
+                yield from self._emit(arrival_us, actions)
+
+    def flush(self, arrival_us: float) -> Iterator[IORequest]:
+        """Seal a partially filled pack buffer (load-phase epilogue)."""
+        yield from self._emit(arrival_us, self._packer.flush())
+
+    # -- the streaming translator --------------------------------------
+
+    def translate(
+        self, stream: Iterable[KVRequest]
+    ) -> Iterator[IORequest]:
+        """Lazily translate a KV request stream into page requests."""
+        for request in stream:
+            if request.op is KVOp.PUT:
+                yield from self.put(
+                    request.key, request.value_bytes,
+                    request.content_id, request.arrival_us,
+                )
+            elif request.op is KVOp.GET:
+                yield from self.get(request.key, request.arrival_us)
+            elif request.op is KVOp.DELETE:
+                yield from self.delete(request.key, request.arrival_us)
+            else:
+                yield from self.scan(
+                    request.key, request.scan_length, request.arrival_us,
+                )
+
+    # -- internals -----------------------------------------------------
+
+    def _read_actions(self, key: Key) -> Optional[List[FlashAction]]:
+        """Flash reads serving ``key``, ``[]`` for a RAM buffer hit,
+        ``None`` for a missing key."""
+        extent = self._extents.get(key)
+        if extent is not None:
+            return [("read", lpn, 0) for lpn in extent.lpns]
+        if key in self._packer:
+            lpn = self._packer.lpn_of(key)
+            if lpn is None:
+                self.stats.buffer_hits += 1
+                return []
+            return [("read", lpn, 0)]
+        return None
+
+    def _emit(
+        self, arrival_us: float, actions: List[FlashAction]
+    ) -> Iterator[IORequest]:
+        for kind, lpn, value_id in actions:
+            if kind == "write":
+                self.stats.flash_writes += 1
+                op = OpType.WRITE
+            elif kind == "read":
+                self.stats.flash_reads += 1
+                op = OpType.READ
+            else:
+                self.stats.flash_trims += 1
+                op = OpType.TRIM
+            yield IORequest(
+                arrival_us=arrival_us, op=op, lpn=lpn, value_id=value_id,
+            )

@@ -52,7 +52,7 @@ class CorePurityRule(Rule):
     forbidden: Tuple[str, ...] = (
         "repro.sim", "repro.ftl", "repro.experiments",
         "repro.perf", "repro.fleet", "repro.check", "repro.faults",
-        "repro.api", "repro.serve",
+        "repro.api", "repro.serve", "repro.kv",
     )
 
     def check(self, program: Program) -> Iterator[Violation]:
@@ -99,9 +99,11 @@ class NoExperimentsRule(Rule):
     #: ``repro.fleet`` sits beside ``repro.experiments``: it orchestrates
     #: many devices, so a device importing it would invert the stack.
     #: ``repro.api`` serialises device *results*, so it too sits above
-    #: the device layers.
+    #: the device layers.  ``repro.kv`` translates keyed workloads into
+    #: page requests *for* a device — an orchestrator, never a
+    #: dependency of one.
     harness_packages: Tuple[str, ...] = (
-        "repro.experiments", "repro.fleet", "repro.api",
+        "repro.experiments", "repro.fleet", "repro.api", "repro.kv",
     )
 
     def check(self, program: Program) -> Iterator[Violation]:

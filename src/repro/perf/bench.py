@@ -40,8 +40,12 @@ __all__ = [
     "DEFAULT_FLEET_SCALE",
     "FLEET_BENCH_WORKLOAD",
     "FLEET_BENCH_SYSTEM",
+    "DEFAULT_KV_SCALE",
+    "KV_BENCH_WORKLOADS",
+    "KV_BENCH_SYSTEM",
     "run_benchmark",
     "run_fleet_benchmark",
+    "run_kv_benchmark",
     "write_benchmark",
 ]
 
@@ -71,6 +75,15 @@ FLEET_BENCH_WORKLOAD = "mail"
 FLEET_BENCH_SYSTEM = "mq-dvp"
 DEFAULT_FLEET_SHARDS = 4
 DEFAULT_FLEET_SCALE = 0.2
+
+#: The tracked KV ablation cells: the update-heavy and read-mostly YCSB
+#: mixes on the headline system, each paired with its pool-off
+#: counterpart.  What the section tracks is the *revival delta under a
+#: keyed interface* — the KV layer's raison d'être — plus the usual
+#: serial/parallel digest identity of the KV engine.
+KV_BENCH_WORKLOADS = ("ycsb-a", "ycsb-b")
+KV_BENCH_SYSTEM = "mq-dvp"
+DEFAULT_KV_SCALE = 0.5
 
 
 def _clear_caches() -> None:
@@ -294,16 +307,104 @@ def run_fleet_benchmark(
     }
 
 
+def run_kv_benchmark(
+    workloads: Sequence[str] = KV_BENCH_WORKLOADS,
+    system: str = KV_BENCH_SYSTEM,
+    scale: float = DEFAULT_KV_SCALE,
+    jobs: Optional[int] = None,
+) -> Dict:
+    """Time the KV ablation cells serially and fanned out; return the
+    section.
+
+    Each workload runs twice — pool on (``system``) and its
+    :data:`~repro.ftl.dvp_ftl.POOL_OFF_SYSTEM` counterpart — so the
+    tracked numbers are the keyed revival rate and the flash writes the
+    pool saves, not just wall time.  The serial and parallel legs must
+    mint identical digest lists (``identical_results``), the same
+    engine-determinism contract as the matrix and fleet sections.
+    """
+    from ..kv import KVSpec, run_kv_specs
+
+    specs = []
+    for workload in workloads:
+        on = KVSpec(workload=workload, system=system, scale=scale)
+        specs.extend([on, on.pool_off()])
+    jobs = resolve_jobs(jobs, tasks=len(specs))
+
+    serial_start = time.perf_counter()
+    serial = []
+    cell_seconds = []
+    for spec in specs:
+        cell_start = time.perf_counter()
+        serial.append(run_kv_specs([spec], jobs=1)[0])
+        cell_seconds.append(time.perf_counter() - cell_start)
+    serial_seconds = time.perf_counter() - serial_start
+
+    serial_fallback = (
+        jobs == 1
+        or (os.cpu_count() or 1) == 1
+        or serial_seconds / len(specs) < SERIAL_FALLBACK_THRESHOLD_S
+    )
+    parallel_start = time.perf_counter()
+    parallel = run_kv_specs(specs, jobs=1 if serial_fallback else jobs)
+    parallel_seconds = time.perf_counter() - parallel_start
+
+    serial_digests = [kv.digest for kv in serial]
+    parallel_digests = [kv.digest for kv in parallel]
+
+    cells: List[Dict] = []
+    for index, workload in enumerate(workloads):
+        on, off = serial[2 * index], serial[2 * index + 1]
+        on_writes = (on.result.counters.programs
+                     + on.result.counters.gc_relocations)
+        off_writes = (off.result.counters.programs
+                      + off.result.counters.gc_relocations)
+        cells.append({
+            "workload": workload,
+            "system": system,
+            "system_off": off.spec.system,
+            "serial_seconds": round(
+                cell_seconds[2 * index] + cell_seconds[2 * index + 1], 6
+            ),
+            "requests": (
+                on.result.reads.count + on.result.writes.count
+            ),
+            "digest_on": on.digest,
+            "digest_off": off.digest,
+            "revival_rate": round(on.revival_rate, 6),
+            "write_amplification_on": round(on.write_amplification, 6),
+            "write_amplification_off": round(off.write_amplification, 6),
+            "flash_writes_saved": off_writes - on_writes,
+        })
+
+    return {
+        "system": system,
+        "scale": scale,
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 6),
+        "parallel_seconds": round(parallel_seconds, 6),
+        "serial_fallback": serial_fallback,
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 1e-6 and not serial_fallback
+        else None,
+        "identical_results": serial_digests == parallel_digests,
+        "cells": cells,
+    }
+
+
 def write_benchmark(
     path: str = "BENCH_matrix.json",
     fleet_shards: Optional[int] = None,
     fleet_scale: float = DEFAULT_FLEET_SCALE,
+    kv: bool = False,
+    kv_scale: float = DEFAULT_KV_SCALE,
     **kwargs,
 ) -> Dict:
     """Run the benchmark and write the report to ``path``; returns it.
 
     ``fleet_shards`` (``None`` = skip) appends the tracked fleet section
-    to the report; the fleet leg runs with the matrix leg's ``jobs``.
+    to the report; ``kv`` appends the tracked KV ablation section.  Both
+    extra legs run with the matrix leg's ``jobs``.
     """
     report = run_benchmark(**kwargs)
     if fleet_shards is not None:
@@ -311,6 +412,10 @@ def write_benchmark(
             shards=fleet_shards,
             jobs=kwargs.get("jobs"),
             scale=fleet_scale,
+        )
+    if kv:
+        report["kv"] = run_kv_benchmark(
+            jobs=kwargs.get("jobs"), scale=kv_scale,
         )
     with open(path, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)

@@ -33,7 +33,7 @@ from .transforms import (
     take,
     window,
 )
-from .zipf import ZipfSampler, top_fraction_share, zipf_rank
+from .zipf import ZipfSampler, top_fraction_share, zipf_rank, zipf_rank_legacy
 
 __all__ = [
     "WorkloadProfile",
@@ -45,6 +45,7 @@ __all__ = [
     "generate_trace",
     "ZipfSampler",
     "zipf_rank",
+    "zipf_rank_legacy",
     "top_fraction_share",
     "RawFIURecord",
     "FIUFormatError",

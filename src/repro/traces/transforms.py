@@ -104,7 +104,7 @@ def shift_lpns(
 
 def with_trims(
     trace: Iterable[IORequest], every_writes: int
-) -> List[IORequest]:
+) -> Iterator[IORequest]:
     """Inject a TRIM after every ``every_writes``-th write, discarding
     that write's LPN at the same arrival time.
 
@@ -116,23 +116,24 @@ def with_trims(
     just-written page and journals a discard that recovery must order
     against the preceding write.  Arrival times of the original requests
     are untouched, so the remaining stream keeps its timing shape.
+
+    Lazy like every other transform, so it composes with streaming
+    generators without materialising the trace.
     """
     if every_writes <= 0:
         raise ValueError("every_writes must be positive")
-    out: List[IORequest] = []
     writes = 0
     for request in trace:
-        out.append(request)
+        yield request
         if request.op is OpType.WRITE:
             writes += 1
             if writes % every_writes == 0:
-                out.append(IORequest(
+                yield IORequest(
                     arrival_us=request.arrival_us,
                     op=OpType.TRIM,
                     lpn=request.lpn,
                     value_id=0,
-                ))
-    return out
+                )
 
 
 def merge_traces(
@@ -168,6 +169,8 @@ def interleave_tenants(
     """
     if pages_per_tenant <= 0:
         raise ValueError("pages_per_tenant must be positive")
+    if value_space <= 0:
+        raise ValueError("value_space must be positive")
     streams = []
     for index, tenant in enumerate(tenants):
         base = index * pages_per_tenant
@@ -175,6 +178,16 @@ def interleave_tenants(
             if request.lpn >= pages_per_tenant:
                 raise ValueError(
                     f"tenant {index} LPN {request.lpn} exceeds its range"
+                )
+            # A value id at or past ``value_space`` would land in the next
+            # tenant's private namespace after the shift, silently enabling
+            # the exact cross-tenant revival the namespaces exist to rule
+            # out — reject instead of producing a biased workload.
+            if not share_values and request.value_id >= value_space:
+                raise ValueError(
+                    f"tenant {index} value_id {request.value_id} does not "
+                    f"fit its private namespace (value_space={value_space}); "
+                    "raise value_space or pass share_values=True"
                 )
         value_base = 0 if share_values else index * value_space
         streams.append([

@@ -176,6 +176,7 @@ class TestSchemaConstants:
         assert set(KINDS) == {
             "run", "bench.cell", "fleet.shard", "fleet",
             "serve.metrics", "serve.session",
+            "kv.run", "kv.ablation",
         }
 
     def test_record_is_frozen(self, run_result):

@@ -122,6 +122,59 @@ class TestReportCommand:
         assert "wrote" in capsys.readouterr().out
 
 
+class TestKvCommand:
+    def test_kv_table(self, capsys):
+        code = main([
+            "kv", "--workload", "ycsb-a", "--system", "mq-dvp",
+            "--scale", "0.05",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "revival rate" in out
+        assert "pack seals" in out
+
+    def test_kv_json_record_round_trips(self, capsys):
+        code = main([
+            "kv", "--workload", "trim-heavy", "--scale", "0.05", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "kv.run"
+        assert payload["counters"]["host_trims"] > 0
+        assert payload["meta"]["kv"]["deletes"] > 0
+        assert payload["meta"]["spec"]["workload"] == "trim-heavy"
+        from repro.api import parse_record
+
+        assert parse_record(payload).to_dict() == payload
+
+    def test_kv_ablate_json_carries_both_legs(self, capsys):
+        code = main([
+            "kv", "--workload", "ycsb-a", "--scale", "0.05",
+            "--ablate", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "kv.ablation"
+        meta = payload["meta"]
+        assert meta["off_system"] == "baseline"
+        assert meta["revival_rate"] > meta["revival_rate_off"] == 0.0
+        assert meta["flash_writes_saved"] > 0
+        assert meta["digest_on"] != meta["digest_off"]
+
+    def test_kv_ablate_table(self, capsys):
+        code = main([
+            "kv", "--workload", "ycsb-a", "--scale", "0.05", "--ablate",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "pool off: baseline" in out
+        assert "pool saves" in out
+
+    def test_kv_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["kv", "--workload", "nope"])
+
+
 class TestCheckFlags:
     def test_check_flags_parse(self):
         args = build_parser().parse_args([

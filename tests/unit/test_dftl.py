@@ -76,6 +76,41 @@ class TestCachedMappingTable:
         cmt.access(0, dirty=False)
         assert cmt.stats.hit_rate == 0.5
 
+    def test_update_in_place_is_not_a_host_hit(self):
+        """Regression: GC-internal CMT touches used to go through
+        ``access``, inflating ``hit_rate`` with traffic the host never
+        issued."""
+        cmt = CachedMappingTable(4)
+        cmt.access(0, dirty=False)
+        cmt.update_in_place(0)
+        assert cmt.stats.hits == 0
+        assert cmt.stats.gc_updates == 1
+        assert cmt.stats.hit_rate == 0.0
+        # ...but the entry did become dirty: evicting it writes back.
+        cmt2 = CachedMappingTable(1)
+        cmt2.access(0, dirty=False)
+        cmt2.update_in_place(0)
+        _, writes = cmt2.access(1, dirty=False)
+        assert writes == 1
+
+    def test_update_in_place_does_not_promote_to_mru(self):
+        """Regression: the old path promoted GC-touched entries to MRU,
+        letting background GC evict the host's genuinely hot entries."""
+        cmt = CachedMappingTable(2)
+        cmt.access(0, dirty=False)   # LRU after the next access
+        cmt.access(1, dirty=False)   # MRU (host-hot)
+        cmt.update_in_place(0)       # GC touch must NOT refresh recency
+        cmt.access(2, dirty=False)   # evicts exactly one entry
+        assert 0 not in cmt          # GC-touched entry stayed LRU
+        assert 1 in cmt              # host-hot entry survived
+
+    def test_update_in_place_uncached_is_noop(self):
+        cmt = CachedMappingTable(2)
+        cmt.update_in_place(42)
+        assert len(cmt) == 0
+        assert cmt.stats.gc_updates == 0
+        assert cmt.stats.misses == 0
+
 
 class TestDFTLFtl:
     def test_write_reports_translation_traffic(self, tiny_config):
@@ -125,6 +160,28 @@ class TestDFTLFtl:
         for i in range(tiny_config.total_pages * 2):
             ftl.write(i % ws, fp(1_000 + i))
         assert ftl.counters.gc_erases > 0
+        ftl.check_invariants()
+
+    def test_gc_touches_split_out_of_host_stats(self, tiny_config):
+        """Regression: GC relocations no longer count as host hits, so
+        hits+misses equals exactly the host ops issued.
+
+        Hot overwrites interleaved with live cold data force victims
+        with live pages, so GC actually relocates (a pure sequential
+        overwrite produces only fully-dead victims)."""
+        ftl = DFTLFtl(tiny_config, cmt_entries=1024)
+        cold, host_ops = 100, 0
+        for i in range(tiny_config.total_pages * 3):
+            if i % 8 == 0 and cold < 300:
+                ftl.write(cold, fp(10_000 + cold))
+                cold += 1
+            else:
+                ftl.write(i % 8, fp(2_000 + i))
+            host_ops += 1
+        assert ftl.counters.gc_relocations > 0
+        stats = ftl.translation.stats
+        assert stats.gc_updates > 0
+        assert stats.hits + stats.misses == host_ops
         ftl.check_invariants()
 
     def test_simulator_charges_translation_ops(self, tiny_config):

@@ -18,6 +18,7 @@ class TestRegistry:
         assert set(SYSTEMS) == {
             "baseline", "lru-dvp", "mq-dvp", "ideal", "lxssd",
             "dedup", "dvp+dedup", "adaptive-dvp",
+            "dftl-baseline", "dftl-mq-dvp",
         }
 
     def test_unknown_system(self, tiny_config):
@@ -76,5 +77,36 @@ class TestComposition:
 
     def test_pool_size_ignored_where_inapplicable(self, tiny_config):
         # These factories take no pool size; any value must work.
-        for name in ("baseline", "ideal", "dedup"):
+        for name in ("baseline", "ideal", "dedup", "dftl-baseline"):
             build_system(name, tiny_config, 12345)
+
+    def test_dftl_baseline_composition(self, tiny_config):
+        from repro.ftl.dftl import DFTLFtl
+
+        ftl = build_system("dftl-baseline", tiny_config, 100)
+        assert isinstance(ftl, DFTLFtl)
+        assert ftl.pool is None
+        assert isinstance(ftl.gc.policy, GreedyVictimPolicy)
+
+    def test_dftl_mq_dvp_composition(self, tiny_config):
+        from repro.ftl.dftl import DFTLFtl
+
+        ftl = build_system("dftl-mq-dvp", tiny_config, 100)
+        assert isinstance(ftl, DFTLFtl)
+        assert isinstance(ftl.pool, MQDeadValuePool)
+        assert isinstance(ftl.gc.policy, PopularityAwareVictimPolicy)
+
+
+class TestPoolOffMap:
+    def test_maps_within_registry(self):
+        from repro.ftl.dvp_ftl import POOL_OFF_SYSTEM
+
+        for on, off in POOL_OFF_SYSTEM.items():
+            assert on in SYSTEMS and off in SYSTEMS
+
+    def test_off_counterparts_have_no_pool(self, tiny_config):
+        from repro.ftl.dvp_ftl import POOL_OFF_SYSTEM
+
+        for on, off in POOL_OFF_SYSTEM.items():
+            assert build_system(on, tiny_config, 64).pool is not None
+            assert build_system(off, tiny_config, 64).pool is None

@@ -123,6 +123,64 @@ class TestInterleaveTenants:
         with pytest.raises(ValueError):
             interleave_tenants([[]], pages_per_tenant=0)
 
+    def test_value_id_overflowing_namespace_raises(self):
+        # tenant 0's value_id 7 with value_space=4 would land on tenant
+        # 1's private id 3 after the shift — reject instead of colliding.
+        a = [w(0.0, 0, 7)]
+        b = [w(1.0, 0, 3)]
+        with pytest.raises(ValueError, match="private namespace"):
+            interleave_tenants([a, b], pages_per_tenant=16, value_space=4)
+
+    def test_overflow_allowed_when_values_shared(self):
+        a = [w(0.0, 0, 7)]
+        b = [w(1.0, 0, 3)]
+        out = interleave_tenants(
+            [a, b], pages_per_tenant=16, value_space=4, share_values=True,
+        )
+        assert [x.value_id for x in out] == [7, 3]
+
+    def test_invalid_value_space(self):
+        with pytest.raises(ValueError):
+            interleave_tenants([[]], pages_per_tenant=16, value_space=0)
+
+    def test_namespace_collision_caused_spurious_revival(self, tiny_config):
+        """Regression for the silent-collision bug: before validation, a
+        tenant value_id >= value_space aliased another tenant's private id
+        and the pool revived garbage across supposedly isolated tenants."""
+        from repro.core.dvp import InfiniteDeadValuePool
+        from repro.ftl.ftl import BaseFTL
+
+        value_space = 4
+        # Tenant 0 writes id 7 (= value_space + 3) then overwrites it, so
+        # content 7 becomes pool garbage; tenant 1 then writes its private
+        # id 3.  Under the old shift, both map to global id 7: tenant 1's
+        # write short-circuits against tenant 0's dead page.
+        tenant_a = [w(0.0, 0, 7), w(10.0, 0, 1)]
+        tenant_b = [w(20.0, 0, 3)]
+
+        def replay(trace):
+            ftl = BaseFTL(tiny_config, pool=InfiniteDeadValuePool())
+            for request in trace:
+                ftl.write(request.lpn, request.fingerprint)
+            return ftl.counters.short_circuits
+
+        buggy_shift = [
+            IORequest(
+                arrival_us=req.arrival_us, op=req.op,
+                lpn=req.lpn + index * 16,
+                value_id=req.value_id + index * value_space,
+            )
+            for index, tenant in enumerate([tenant_a, tenant_b])
+            for req in tenant
+        ]
+        assert replay(sorted(buggy_shift, key=lambda r: r.arrival_us)) == 1
+
+        with pytest.raises(ValueError):
+            interleave_tenants(
+                [tenant_a, tenant_b], pages_per_tenant=16,
+                value_space=value_space,
+            )
+
     def test_shared_values_enable_cross_tenant_revival(self, tiny_config):
         """With share_values=True, one tenant's dead content can serve
         another tenant's write through the pool."""
@@ -183,4 +241,19 @@ class TestWithTrims:
 
     def test_invalid_interval(self):
         with pytest.raises(ValueError):
-            with_trims(TRACE, 0)
+            list(with_trims(TRACE, 0))
+
+    def test_lazy_never_materialises(self):
+        """Streams like every other transform: pulling a prefix of the
+        output must not consume the whole (here: unbounded) input."""
+        def endless():
+            i = 0
+            while True:
+                yield w(float(i), i % 8, i)
+                i += 1
+
+        out = with_trims(endless(), 2)
+        head = [next(out) for _ in range(6)]
+        ops = [req.op for req in head]
+        assert OpType.TRIM in ops
+        assert len(head) == 6  # and we returned at all

@@ -5,7 +5,12 @@ from collections import Counter
 
 import pytest
 
-from repro.traces.zipf import ZipfSampler, top_fraction_share, zipf_rank
+from repro.traces.zipf import (
+    ZipfSampler,
+    top_fraction_share,
+    zipf_rank,
+    zipf_rank_legacy,
+)
 
 
 class TestZipfRank:
@@ -41,6 +46,57 @@ class TestZipfRank:
         mild = [zipf_rank(rng1, 1000, 0.8) for _ in range(20_000)]
         steep = [zipf_rank(rng2, 1000, 1.5) for _ in range(20_000)]
         assert Counter(steep)[1] > Counter(mild)[1]
+
+
+class TestZipfRankTruncationFix:
+    """The corrected inverse floors over ``[1, n+1)``; the legacy draw
+    truncated over ``[1, n)``, making rank ``n`` almost unreachable and
+    over-weighting rank 1 (regression for the truncation-bias bug)."""
+
+    def test_rank_n_reachable(self):
+        rng = random.Random(7)
+        assert any(zipf_rank(rng, 2, 0.5) == 2 for _ in range(2_000))
+
+    def test_legacy_truncation_starves_rank_n(self):
+        # With n=2 the legacy draw lives in [1, 2) and int() can only ever
+        # produce rank 1 — rank 2 is literally unreachable.
+        rng = random.Random(7)
+        assert all(zipf_rank_legacy(rng, 2, 0.5) == 1 for _ in range(2_000))
+
+    def test_rank_one_share_not_inflated(self):
+        # Same uniform sequence: the legacy normalisation over [1, n)
+        # concentrates strictly more mass on rank 1 than the corrected
+        # one over [1, n+1).
+        n, draws = 5, 50_000
+        rng_fixed, rng_legacy = random.Random(3), random.Random(3)
+        fixed = Counter(
+            zipf_rank(rng_fixed, n, 1.15) for _ in range(draws)
+        )
+        legacy = Counter(
+            zipf_rank_legacy(rng_legacy, n, 1.15) for _ in range(draws)
+        )
+        assert fixed[1] < legacy[1]
+        assert fixed[n] > legacy[n]
+
+    def test_mail_skew_pins_figure_3a_share(self):
+        # Figure 3a: ~20% of values absorb ~80% of the writes.  Draw ranks
+        # under the mail profile's value skew (value_zipf_s=1.15) and check
+        # the top-20% share lands in the figure's neighbourhood.
+        rng = random.Random(1234)
+        n = 2_000
+        counts = Counter(zipf_rank(rng, n, 1.15) for _ in range(60_000))
+        share = top_fraction_share(
+            [counts.get(rank, 0) for rank in range(1, n + 1)], 0.2
+        )
+        assert 0.78 <= share <= 0.95
+
+    def test_legacy_bounds_and_validation(self):
+        rng = random.Random(1)
+        for n in (1, 2, 10, 1000):
+            for _ in range(100):
+                assert 1 <= zipf_rank_legacy(rng, n, 1.1) <= n
+        with pytest.raises(ValueError):
+            zipf_rank_legacy(random.Random(1), 0, 1.0)
 
 
 class TestZipfSampler:
