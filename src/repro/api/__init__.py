@@ -20,6 +20,7 @@ from .schema import (
     ResultRecord,
     SchemaError,
     aggregate_record,
+    lint_finding_record,
     parse_record,
     record_from_kv_run,
     record_from_run,
@@ -36,6 +37,7 @@ __all__ = [
     "ResultRecord",
     "SchemaError",
     "aggregate_record",
+    "lint_finding_record",
     "parse_record",
     "record_from_kv_run",
     "record_from_run",

@@ -357,7 +357,13 @@ def build_parser() -> argparse.ArgumentParser:
     lint_p.add_argument(
         "--write-baseline", action="store_true",
         help="rewrite the baseline to cover current findings (new "
-             "entries get TODO justifications) and exit 0",
+             "entries get TODO justifications, entries that no longer "
+             "match are pruned) and exit 0",
+    )
+    lint_p.add_argument(
+        "--strict-baseline", action="store_true",
+        help="treat stale baseline entries as a failure (exit 1); "
+             "used in CI so the baseline only ever shrinks",
     )
     lint_p.add_argument(
         "--select", default=None, metavar="CODES",
@@ -375,6 +381,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--package-root", default=None, metavar="DIR",
         help="map module names relative to this directory instead of "
              "auto-detecting package roots",
+    )
+    lint_p.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the whole-program flow analysis "
+             "(default: serial; 0 = one per CPU)",
+    )
+    lint_p.add_argument(
+        "--flow-cache-dir", default=".lint-flow-cache", metavar="DIR",
+        help="directory for the per-file flow-analysis cache, keyed on "
+             "content hashes (default .lint-flow-cache)",
+    )
+    lint_p.add_argument(
+        "--no-flow-cache", action="store_true",
+        help="keep the flow analysis in memory only (no on-disk cache)",
     )
     return parser
 
@@ -911,11 +931,18 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    from .lint.flow import FlowOptions
+
+    flow_options = FlowOptions(
+        jobs=args.jobs,
+        cache_dir=None if args.no_flow_cache else args.flow_cache_dir,
+    )
     engine = LintEngine(
         select=select,
         ignore=ignore,
         baseline=baseline,
         package_root=args.package_root,
+        flow_options=flow_options,
     )
     try:
         result = engine.run(args.paths)
@@ -940,6 +967,13 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         "github": render_github,
     }[args.format]
     print(renderer(result))
+    if args.strict_baseline and result.stale_baseline:
+        print(
+            f"error: {len(result.stale_baseline)} stale baseline "
+            "entries (run repro lint --write-baseline to prune)",
+            file=sys.stderr,
+        )
+        return 1
     return 0 if result.clean else 1
 
 

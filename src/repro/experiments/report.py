@@ -32,8 +32,14 @@ from .figures import (
     table2_workloads,
 )
 from .config import DEFAULT_SCALE, RunConfig
+from .figures import PAPER_POOL_SIZES
+from .runner import scaled_pool_entries
 
 __all__ = ["generate_report"]
+
+#: Figure 5's paper-labelled pool sizes, in x-axis order (mirrors the
+#: ``paper_sizes`` default of :func:`fig05_lru_sweep`).
+_FIG05_PAPER_SIZES = (100_000, 400_000, 1_000_000)
 
 
 def _section(title: str, body: str) -> str:
@@ -94,7 +100,13 @@ def generate_report(scale: float = DEFAULT_SCALE) -> str:
     ))
 
     fig05 = fig05_lru_sweep(scale)
-    labels = list(next(iter(fig05.values())).keys())
+    # Explicit figure order — the paper's x-axis, smallest pool first,
+    # then the infinite reference.  Never derived from a dict's key
+    # order: "lru-100000" < "lru-1000000" < "lru-400000" lexically, so
+    # any future re-sort of the sweep dict would scramble the columns.
+    labels = [
+        f"lru-{scaled_pool_entries(s, scale)}" for s in _FIG05_PAPER_SIZES
+    ] + ["infinite"]
     parts.append(_section(
         "Figure 5 — LRU pool sweep (writes surviving)",
         render_table(
@@ -149,7 +161,9 @@ def generate_report(scale: float = DEFAULT_SCALE) -> str:
 
     # --- Evaluation -----------------------------------------------------
     fig09 = fig09_write_reduction(matrix)
-    sizes = list(next(iter(fig09.values())).keys())
+    # Same principle as Figure 5: column order is the paper's pool-size
+    # axis plus the ideal reference, stated explicitly.
+    sizes = [f"{s // 1000}K" for s in PAPER_POOL_SIZES] + ["ideal"]
     parts.append(_section(
         "Figure 9 — write reduction (%)",
         render_table(

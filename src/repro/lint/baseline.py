@@ -124,6 +124,10 @@ class Baseline:
         return cls(entries)
 
     def save(self, path: str) -> None:
+        """Write atomically (tmp + rename): a crashed or interrupted
+        ``--write-baseline`` must never leave a truncated JSON file
+        behind, because a broken baseline fails *every* subsequent lint
+        run."""
         payload = {
             "version": _VERSION,
             "entries": [
@@ -131,9 +135,11 @@ class Baseline:
                 for entry in sorted(self.entries, key=lambda e: e.key())
             ],
         }
-        with open(path, "w", encoding="utf-8") as handle:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        os.replace(tmp, path)
 
     @classmethod
     def from_violations(

@@ -101,6 +101,10 @@ class Program:
 
     modules: List[ModuleInfo]
     import_graph: ImportGraph
+    #: knobs for the whole-program flow analysis (a
+    #: :class:`repro.lint.flow.FlowOptions`; loosely typed here so the
+    #: engine has no import-time dependency on the flow subpackage)
+    flow_options: Optional[object] = None
 
     def module_named(self, name: str) -> Optional[ModuleInfo]:
         for module in self.modules:
@@ -140,6 +144,7 @@ class LintEngine:
         ignore: Optional[Iterable[str]] = None,
         baseline: Optional[Baseline] = None,
         package_root: Optional[str] = None,
+        flow_options: Optional[object] = None,
     ) -> None:
         self.rules = list(rules) if rules is not None else all_rules()
         if select:
@@ -150,6 +155,7 @@ class LintEngine:
             self.rules = [r for r in self.rules if r.code not in unwanted]
         self.baseline = baseline or Baseline()
         self.package_root = package_root
+        self.flow_options = flow_options
 
     # -- loading -------------------------------------------------------
 
@@ -165,7 +171,11 @@ class LintEngine:
         graph = build_import_graph(
             (m.name, m.tree, m.is_package) for m in modules
         )
-        return Program(modules=modules, import_graph=graph)
+        return Program(
+            modules=modules,
+            import_graph=graph,
+            flow_options=self.flow_options,
+        )
 
     def _collect_files(self, paths: Sequence[str]) -> List[str]:
         found: List[str] = []
@@ -263,6 +273,7 @@ def lint_paths(
     ignore: Optional[Iterable[str]] = None,
     baseline: Optional[Baseline] = None,
     package_root: Optional[str] = None,
+    flow_options: Optional[object] = None,
 ) -> LintResult:
     """One-call façade: lint ``paths`` with the full registry."""
     engine = LintEngine(
@@ -270,5 +281,6 @@ def lint_paths(
         ignore=ignore,
         baseline=baseline,
         package_root=package_root,
+        flow_options=flow_options,
     )
     return engine.run(paths)

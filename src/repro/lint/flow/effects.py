@@ -1,0 +1,134 @@
+"""Hot-path effect pass (``flow.hot-effect``).
+
+The per-op hot set is the code every simulated request executes:
+``Device.step``, the FTL entry points (``read``/``write``/``trim`` on
+``BaseFTL`` and every subclass), GC collection
+(``maybe_collect``/``background_collect`` and the relocation they
+drive), and the MQ touch (``MultiQueue.access``).  Anything
+transitively reachable from those roots runs millions of times per
+experiment, so the PR-6 performance work is only safe if nothing in
+that cone quietly does file or socket I/O, ``logging``, lock
+acquisition, ``print``, blocking sleeps — or unbounded per-op
+allocation (container builds on every request add GC pressure the
+columnar layout exists to avoid).
+
+The traversal deliberately does **not** descend into ``repro.check``
+and ``repro.obs``: those are the opt-in diagnostic layers — the
+invariant checker and the observability taps are *supposed* to allocate
+and record, and runs that care about speed disable them.  Everything
+else reached from a hot root is reported with the root→function call
+path so the reader can see exactly how the effect gets onto the hot
+path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .facts import EffectFact
+from .graph import CallGraph, SymbolTable
+
+__all__ = ["EffectFinding", "HOT_ROOTS", "analyze_hot_effects"]
+
+
+#: (class simple name, method names) pairs defining the per-op hot set.
+#: Subclass overrides are pulled in by the hierarchy-aware resolver.
+HOT_ROOTS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("Device", ("step",)),
+    ("BaseFTL", ("read", "write", "trim")),
+    ("GarbageCollector", ("maybe_collect", "background_collect")),
+    ("MultiQueue", ("access",)),
+)
+
+#: Diagnostic layers excluded from traversal and reporting: they are
+#: opt-in by design and allowed to allocate/record.
+EXCLUDED_PREFIXES: Tuple[str, ...] = ("repro.check", "repro.obs")
+
+#: Cold-event boundaries: functions statically reachable from the hot
+#: set but executed per *event*, not per op.  ``power_loss`` fires at
+#: most once per injected fault and its whole recovery cone is billed
+#: to ``recovery_us``, not per-request latency — so traversal stops
+#: there instead of dragging crash recovery into the per-op cone.
+#: Matched on the trailing ``Class.method`` of the fq name.
+COLD_BOUNDARIES: Tuple[str, ...] = ("SimulatedSSD.power_loss",)
+
+#: Effect kinds disallowed on the hot path.
+HOT_DISALLOWED = frozenset({
+    "io", "socket", "logging", "lock", "print", "alloc",
+    "sleep", "subprocess",
+})
+
+
+@dataclass(frozen=True)
+class EffectFinding:
+    """One disallowed effect reachable from a hot root."""
+
+    fn: str                      # fq of the function with the effect
+    effect: EffectFact
+    root: str                    # fq of the hot root reaching it
+    path: Tuple[str, ...]        # fq call path, root … fn
+
+
+def _excluded(table: SymbolTable, fq: str) -> bool:
+    module = table.function_module.get(fq, "")
+    if any(
+        module == p or module.startswith(p + ".")
+        for p in EXCLUDED_PREFIXES
+    ):
+        return True
+    return any(fq.endswith("." + tail) for tail in COLD_BOUNDARIES)
+
+
+def hot_root_functions(table: SymbolTable) -> Dict[str, str]:
+    """fq function → root label for every hot entry point."""
+    roots: Dict[str, str] = {}
+    for cls_name, methods in HOT_ROOTS:
+        for cls_fq in table.class_index.get(cls_name, ()):
+            for method in methods:
+                for fn_fq in table.resolve_method(cls_fq, method):
+                    roots.setdefault(fn_fq, f"{cls_name}.{method}")
+    return roots
+
+
+def analyze_hot_effects(graph: CallGraph) -> List[EffectFinding]:
+    """Every disallowed effect in the hot cone, with its reach path."""
+    table = graph.table
+    roots = hot_root_functions(table)
+
+    # Breadth-first over the call graph, remembering the first (shortest)
+    # path that reaches each function — deterministic because both the
+    # roots and each function's callees are visited in sorted order.
+    paths: Dict[str, Tuple[str, ...]] = {}
+    root_of: Dict[str, str] = {}
+    frontier: List[str] = []
+    for fn_fq in sorted(roots):
+        if _excluded(table, fn_fq):
+            continue
+        paths[fn_fq] = (fn_fq,)
+        root_of[fn_fq] = fn_fq
+        frontier.append(fn_fq)
+    while frontier:
+        next_frontier: List[str] = []
+        for fn_fq in frontier:
+            for callee in graph.callees(fn_fq):
+                if callee in paths or _excluded(table, callee):
+                    continue
+                paths[callee] = paths[fn_fq] + (callee,)
+                root_of[callee] = root_of[fn_fq]
+                next_frontier.append(callee)
+        frontier = sorted(next_frontier)
+
+    findings: List[EffectFinding] = []
+    for fn_fq in sorted(paths):
+        fn = table.functions[fn_fq]
+        for effect in fn.effects:
+            if effect.kind not in HOT_DISALLOWED:
+                continue
+            findings.append(EffectFinding(
+                fn=fn_fq,
+                effect=effect,
+                root=root_of[fn_fq],
+                path=paths[fn_fq],
+            ))
+    return findings

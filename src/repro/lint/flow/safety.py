@@ -1,0 +1,200 @@
+"""Fork/pickle and async safety passes.
+
+``flow.spec-pickle``
+    The process-pool engine ships ``RunSpec``/``KVSpec``/``ShardSpec``
+    by value.  ``frozen.spec-picklable`` already validates the spec
+    class's *own* field annotations; this pass closes the transitive
+    gap — it walks the dataclass-reference closure (a spec field typed
+    ``FleetSpec`` drags in every ``FleetSpec`` field, and so on) and
+    validates every field in that closure against the same
+    statically-picklable grammar, reporting the offending field with
+    the reference chain back to the spec that ships it.
+
+``flow.blocking-async``
+    ``repro.serve`` runs one asyncio event loop per service; a blocking
+    primitive anywhere in a coroutine's (transitive) call cone stalls
+    every session on the loop.  Starting from each ``async def`` in
+    ``repro.serve``, the pass walks the call graph and reports
+    ``time.sleep``, synchronous file I/O and ``subprocess`` calls with
+    the coroutine→culprit path.  Functions handed to
+    ``run_in_executor`` are passed by value, not called, so they never
+    create a traversal edge — exactly the blessed escape hatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..rules.frozen import _validate, _Unparseable
+from .facts import EffectFact
+from .graph import CallGraph, SymbolTable
+
+__all__ = [
+    "BlockingFinding",
+    "PickleFinding",
+    "SPEC_ROOTS",
+    "analyze_blocking_async",
+    "analyze_spec_pickle",
+]
+
+
+#: Dataclasses the pool/fleet engines pickle into workers.
+SPEC_ROOTS: Tuple[str, ...] = ("RunSpec", "KVSpec", "ShardSpec")
+
+#: Effect kinds that block an event loop.
+BLOCKING_KINDS = frozenset({"sleep", "subprocess", "io"})
+
+#: The service package whose coroutines are checked.
+_SERVE_PREFIX = "repro.serve"
+
+
+# ---------------------------------------------------------------------------
+# transitive picklability
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PickleFinding:
+    """One unpicklable field in the spec-reference closure."""
+
+    cls_fq: str                  # fq class owning the field
+    field: str
+    annotation: str
+    line: int
+    bad_parts: Tuple[str, ...]
+    chain: Tuple[str, ...]       # class simple names, spec root … owner
+
+
+def _dataclass_tails(table: SymbolTable) -> Set[str]:
+    return {
+        cls.name for _fq, (_m, cls) in table.classes.items()
+        if cls.is_dataclass
+    }
+
+
+def _referenced_classes(annotation: ast.expr, known: Set[str]) -> Set[str]:
+    """Class simple names an annotation references, restricted to known."""
+    out: Set[str] = set()
+    for node in ast.walk(annotation):
+        name = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            try:
+                out |= _referenced_classes(
+                    ast.parse(node.value, mode="eval").body, known
+                )
+            except SyntaxError:
+                pass
+            continue
+        if name is not None and name in known:
+            out.add(name)
+    return out
+
+
+def analyze_spec_pickle(table: SymbolTable) -> List[PickleFinding]:
+    """Validate the whole dataclass closure each spec root ships."""
+    dataclass_names = _dataclass_tails(table)
+    findings: List[PickleFinding] = []
+    seen: Set[str] = set()
+    # (class fq, chain of simple names from the root)
+    worklist: List[Tuple[str, Tuple[str, ...]]] = []
+    for root in SPEC_ROOTS:
+        for cls_fq in table.class_index.get(root, ()):
+            worklist.append((cls_fq, (root,)))
+
+    while worklist:
+        cls_fq, chain = worklist.pop(0)
+        if cls_fq in seen:
+            continue
+        seen.add(cls_fq)
+        entry = table.classes.get(cls_fq)
+        if entry is None:
+            continue
+        _module, cls = entry
+        if not cls.is_dataclass:
+            continue
+        for field_name, ann_text, line in cls.fields:
+            if not ann_text:
+                continue
+            try:
+                parsed = ast.parse(ann_text, mode="eval").body
+            except SyntaxError:
+                findings.append(PickleFinding(
+                    cls_fq=cls_fq, field=field_name,
+                    annotation=ann_text, line=line,
+                    bad_parts=(ann_text,), chain=chain,
+                ))
+                continue
+            try:
+                bad = _validate(parsed, dataclass_names)
+            except _Unparseable as exc:
+                bad = {str(exc)}
+            if bad:
+                findings.append(PickleFinding(
+                    cls_fq=cls_fq, field=field_name,
+                    annotation=ann_text, line=line,
+                    bad_parts=tuple(sorted(bad)), chain=chain,
+                ))
+            for ref in sorted(
+                _referenced_classes(parsed, dataclass_names)
+            ):
+                for ref_fq in table.class_index.get(ref, ()):
+                    if ref_fq not in seen:
+                        worklist.append((ref_fq, chain + (ref,)))
+    findings.sort(key=lambda f: (f.cls_fq, f.field))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# async blocking
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockingFinding:
+    """One blocking primitive reachable from a serve coroutine."""
+
+    coroutine: str               # fq of the async def root
+    fn: str                      # fq of the function with the effect
+    effect: EffectFact
+    path: Tuple[str, ...]        # fq call path, coroutine … fn
+
+
+def analyze_blocking_async(graph: CallGraph) -> List[BlockingFinding]:
+    table = graph.table
+    roots = sorted(
+        fq for fq, fn in table.functions.items()
+        if fn.is_async and (
+            table.function_module.get(fq, "").startswith(_SERVE_PREFIX)
+        )
+    )
+    findings: List[BlockingFinding] = []
+    for root in roots:
+        paths: Dict[str, Tuple[str, ...]] = {root: (root,)}
+        frontier = [root]
+        while frontier:
+            next_frontier: List[str] = []
+            for fn_fq in frontier:
+                for callee in graph.callees(fn_fq):
+                    if callee in paths:
+                        continue
+                    paths[callee] = paths[fn_fq] + (callee,)
+                    next_frontier.append(callee)
+            frontier = sorted(next_frontier)
+        for fn_fq in sorted(paths):
+            fn = table.functions[fn_fq]
+            for effect in fn.effects:
+                if effect.kind not in BLOCKING_KINDS:
+                    continue
+                findings.append(BlockingFinding(
+                    coroutine=root,
+                    fn=fn_fq,
+                    effect=effect,
+                    path=paths[fn_fq],
+                ))
+    return findings

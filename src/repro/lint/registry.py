@@ -103,7 +103,7 @@ def register_rule(cls: Type[Rule]) -> Type[Rule]:
 
 def _load_rules() -> None:
     """Import the rule family modules (side effect: registration)."""
-    from .rules import det, frozen, layer, proto  # noqa: F401
+    from .rules import det, flow, frozen, layer, proto  # noqa: F401
 
 
 def all_rules() -> List[Rule]:

@@ -4,9 +4,11 @@
     The default terminal report: one ``path:line:col code message`` row
     per finding, a per-code tally, and the suppression/baseline counts.
 ``jsonl``
-    One JSON object per line (the :meth:`Violation.as_dict` record),
-    then one trailing ``{"summary": ...}`` object — greppable, and
-    stable enough to diff across runs.
+    One ``repro.api/v1`` :class:`~repro.api.schema.ResultRecord` of kind
+    ``lint.finding`` per violation (so lint output round-trips through
+    :func:`repro.api.parse_record` like every other machine-readable
+    surface in the repo), then one trailing ``{"summary": ...}`` object —
+    greppable, and stable enough to diff across runs.
 ``github``
     GitHub Actions workflow commands (``::error file=...``), so a CI
     failure annotates the exact line in the pull-request diff.
@@ -65,8 +67,23 @@ def render_text(result: LintResult) -> str:
 
 
 def render_jsonl(result: LintResult) -> str:
+    # Imported lazily: repro.api sits in a different layer, and text /
+    # github rendering must not pull it in.
+    from ..api import lint_finding_record
+
     lines = [
-        json.dumps(v.as_dict(), sort_keys=True) for v in result.violations
+        json.dumps(
+            lint_finding_record(
+                path=v.path,
+                line=v.line,
+                col=v.col,
+                code=v.code,
+                message=v.message,
+                context=v.context,
+            ).to_dict(),
+            sort_keys=True,
+        )
+        for v in result.violations
     ]
     lines.append(json.dumps(_summary_dict(result), sort_keys=True))
     return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Property tests for the whole-program call-graph builder.
+
+Two invariants the ``flow.*`` passes depend on (DESIGN.md §14):
+
+* the symbol table and call graph are *functions of the file set*, not
+  of the order files are discovered in — otherwise taint chains and
+  hot-cone paths would flap between runs and machines;
+* the graph is *monotone under additions*: dropping a brand-new private
+  helper into a module can add edges but can never remove one, so a
+  refactor that extracts a helper cannot silently shrink the analysed
+  cone and hide an existing finding.
+"""
+
+import ast
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.flow import CallGraph, build_symbol_table, extract_module_facts
+
+
+def _facts(module_sources):
+    return [
+        extract_module_facts(
+            name, name.replace(".", "/") + ".py", ast.parse(source), False
+        )
+        for name, source in module_sources
+    ]
+
+
+def _edges(module_sources):
+    table = build_symbol_table(_facts(module_sources))
+    return sorted(CallGraph.build(table).edges())
+
+
+@st.composite
+def projects(draw):
+    """A small synthetic project: modules of functions calling each
+    other by globally-unique names (resolved via the unique-tail
+    fallback, like the repo's re-exported helpers)."""
+    n_modules = draw(st.integers(min_value=1, max_value=4))
+    fn_counts = [
+        draw(st.integers(min_value=1, max_value=3)) for _ in range(n_modules)
+    ]
+    names = [
+        f"fn_{m}_{i}" for m in range(n_modules) for i in range(fn_counts[m])
+    ]
+    modules = []
+    for m in range(n_modules):
+        lines = []
+        for i in range(fn_counts[m]):
+            callees = draw(st.lists(
+                st.sampled_from(names), min_size=0, max_size=3,
+            ))
+            lines.append(f"def fn_{m}_{i}(x):")
+            lines.extend(f"    {callee}(x)" for callee in callees)
+            if not callees:
+                lines.append("    return x")
+        modules.append((f"repro.m{m}", "\n".join(lines) + "\n"))
+    return modules
+
+
+@settings(max_examples=60, deadline=None)
+@given(projects(), st.integers(min_value=0, max_value=2**32 - 1))
+def test_graph_identical_under_file_order_shuffles(project, seed):
+    reference = _edges(project)
+    shuffled = list(project)
+    random.Random(seed).shuffle(shuffled)
+    assert _edges(shuffled) == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    projects(),
+    st.integers(min_value=0, max_value=3),
+    st.booleans(),
+)
+def test_adding_a_private_helper_never_removes_edges(
+    project, module_pick, helper_calls_something
+):
+    reference = set(_edges(project))
+    index = module_pick % len(project)
+    name, source = project[index]
+    # The helper may itself call an existing function (new edges are
+    # fine); it is never *called*, so no existing resolution changes.
+    body = "    fn_0_0(x)\n" if helper_calls_something else "    return x\n"
+    grown = list(project)
+    grown[index] = (name, source + f"\n\ndef _fresh_helper(x):\n{body}")
+    assert reference <= set(_edges(grown))

@@ -18,6 +18,7 @@ from repro.api import (
     ResultRecord,
     SchemaError,
     aggregate_record,
+    lint_finding_record,
     parse_record,
     record_from_run,
     records_from_fleet,
@@ -154,6 +155,22 @@ class TestFleetRecords:
             wire = json.loads(json.dumps(record.to_dict()))
             assert parse_record(wire) == record
 
+    def test_lint_finding_round_trips(self):
+        record = lint_finding_record(
+            path="src/repro/core/dvp.py",
+            line=42,
+            col=5,
+            code="flow.taint-digest",
+            message="wall clock reaches result_digest",
+            context="LRUDeadValuePool.insert_garbage",
+        )
+        assert record.kind == "lint.finding"
+        assert record.counters == {"line": 42, "col": 5}
+        assert record.meta["code"] == "flow.taint-digest"
+        assert record.meta["context"] == "LRUDeadValuePool.insert_garbage"
+        wire = json.loads(json.dumps(record.to_dict()))
+        assert parse_record(wire) == record
+
     def test_aggregate_record_sums_and_merges(self, fleet_result):
         shards = list(fleet_result.shard_results)
         aggregate = aggregate_record(
@@ -176,7 +193,7 @@ class TestSchemaConstants:
         assert set(KINDS) == {
             "run", "bench.cell", "fleet.shard", "fleet",
             "serve.metrics", "serve.session",
-            "kv.run", "kv.ablation",
+            "kv.run", "kv.ablation", "lint.finding",
         }
 
     def test_record_is_frozen(self, run_result):

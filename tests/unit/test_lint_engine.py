@@ -200,8 +200,13 @@ def test_render_jsonl_is_parseable_with_trailing_summary(tmp_path):
     lines = render_jsonl(lint_result(tmp_path)).splitlines()
     records = [json.loads(line) for line in lines]
     assert records[-1]["summary"]["violations"] == 1
-    assert records[0]["code"] == "det.wallclock"
-    assert records[0]["line"] == 5
+    # Violations ride the repro.api/v1 schema as lint.finding records.
+    from repro.api import parse_record
+
+    parsed = parse_record(records[0])
+    assert parsed.kind == "lint.finding"
+    assert parsed.meta["code"] == "det.wallclock"
+    assert parsed.counters["line"] == 5
 
 
 def test_render_github_escapes_and_annotates(tmp_path):
